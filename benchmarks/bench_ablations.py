@@ -1,0 +1,85 @@
+"""Ablations of Charon's design choices (beyond the paper's figures).
+
+Quantifies the decisions the paper makes by argument: the Sec. 4.5
+bitmap cache, the Sec. 4.4 central placement of Scan&Push, unit-count
+scaling, and the dispatch-cost budget that makes fine-grained offload
+viable at all.
+"""
+
+from repro.experiments import ablations, render_table
+
+from conftest import publish, run_once
+
+WORKLOADS = ("graphchi-cc", "spark-bs")
+
+
+def test_bitmap_cache_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.bitmap_cache_ablation(WORKLOADS))
+    publish("ablation_bitmap_cache", render_table(
+        rows, title="Ablation: Sec. 4.5 bitmap cache on/off "
+        "(paper reports ~90% hit rate)"))
+    cc = next(r for r in rows if r["workload"] == "CC")
+    # The cache earns its keep on the Bitmap-Count-heavy workload.
+    assert cc["hit_rate_pct"] > 60.0
+    assert cc["bitmap_slowdown_without"] > 1.3
+    assert cc["gc_slowdown_without"] > 1.05
+
+
+def test_scan_push_placement_ablation(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: ablations.scan_push_placement_ablation(WORKLOADS))
+    publish("ablation_scan_push_placement", render_table(
+        rows, title="Ablation: Scan&Push at the central cube (paper, "
+        "Sec. 4.4) vs at the object's cube"))
+    for row in rows:
+        # The paper's choice wins: central placement minimises expected
+        # hops for the scattered referee loads.
+        assert row["central_advantage"] > 1.0
+
+
+def test_unit_count_sweep(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.unit_count_sweep(WORKLOADS))
+    publish("ablation_unit_count", render_table(
+        rows, title="Ablation: GC speedup vs total Charon unit count"))
+    for row in rows:
+        counts = sorted(
+            (key for key in row if key.startswith("units_")),
+            key=lambda key: int(key.split("_")[1]))
+        # More units never hurt, and help somewhere in the sweep.
+        values = [row[key] for key in counts]
+        assert values[-1] >= values[0] * 0.98
+        assert max(values) > values[0]
+
+
+def test_dispatch_overhead_sweep(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.dispatch_overhead_sweep(WORKLOADS))
+    publish("ablation_dispatch_overhead", render_table(
+        rows, title="Ablation: Charon speedup vs host-side dispatch "
+        "cost (fine-grained offload needs a cheap intrinsic)"))
+    for row in rows:
+        # Monotone: a costlier intrinsic always erodes the speedup,
+        # and a 500 ns (syscall-class) dispatch erases most of it on
+        # the small-object workload.
+        assert row["0ns"] >= row["20ns"] >= row["100ns"] >= row["500ns"]
+    cc = next(r for r in rows if r["workload"] == "CC")
+    assert cc["500ns"] < 1.0  # offload stops paying off
+
+
+def test_topology_ablation(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: ablations.topology_ablation(("graphchi-als",
+                                             "spark-bs")))
+    publish("ablation_topology", render_table(
+        rows, title="Ablation: star vs fully-connected inter-cube "
+        "links (the Sec. 4.6 scalability suggestion)"))
+    als = next(r for r in rows if r["workload"] == "ALS")
+    # The remote-write-bound giant copies benefit from direct links.
+    assert als["speedup"] > 1.05
+    for row in rows:
+        # Never slower: removing hops can only help.
+        assert row["speedup"] >= 0.99

@@ -1,0 +1,38 @@
+"""Figure 4: runtime breakdown of MinorGC and MajorGC on the host.
+
+Paper: a handful of primitives dominate — Search/Scan&Push/Copy cover
+71.4%/78.2% of MinorGC time (Spark/GraphChi) and Scan&Push/Bitmap
+Count/Copy cover 74.1%/79.1% of MajorGC — motivating primitive-level
+offload instead of full-GC offload.
+"""
+
+from repro.experiments import figures, render_table
+
+from conftest import publish, run_once
+
+
+def test_figure4(benchmark):
+    rows = run_once(benchmark, figures.figure4)
+    publish("fig04_breakdown", render_table(
+        rows,
+        title="Figure 4: GC runtime breakdown on cpu-ddr4 (%% of GC "
+              "time; paper: offloadable 71-93%% depending on workload)"))
+    minor_rows = [row for row in rows if row["gc"] == "minor"]
+    for row in minor_rows:
+        # The offloadable primitives dominate every MinorGC.
+        assert row["offloadable_pct"] > 50.0
+    for row in rows:
+        if row["gc"] == "major" and row["workload"] in ("CC", "PR"):
+            # Pointer-dense majors are dominated by the primitives too.
+            # (ALS majors degenerate: its whole old generation sits in
+            # the dense prefix, so almost nothing is offloadable --
+            # and almost nothing needs doing.)
+            assert row["offloadable_pct"] > 50.0
+    spark = [row for row in minor_rows
+             if row["workload"] in ("BS", "KM", "LR")]
+    graph = [row for row in minor_rows
+             if row["workload"] in ("CC", "PR")]
+    # Spark minors are Copy/Search heavy; GraphChi minors lean on
+    # Scan&Push much more (Sec. 3.2).
+    assert all(row["copy"] > row["scan_push"] for row in spark)
+    assert all(row["scan_push"] > 15.0 for row in graph)

@@ -1,0 +1,27 @@
+"""Figure 12: overall GC speedup across platforms.
+
+Paper headline: replacing DDR4 with HMC buys 1.21x; adding Charon in
+the logic layer reaches 3.29x (geomean over the six workloads), with
+the Ideal offload device bounding what primitive offload could give.
+"""
+
+from repro.experiments import figures, render_table
+from repro.units import geomean
+
+from conftest import publish, run_once
+
+
+def test_figure12(benchmark):
+    rows = run_once(benchmark, figures.figure12)
+    publish("fig12_speedup", render_table(
+        rows,
+        title="Figure 12: GC speedup over cpu-ddr4 "
+              "(paper geomean: HMC 1.21x, Charon 3.29x)"))
+    geo = rows[-1]
+    assert geo["workload"] == "geomean"
+    # Platform ordering: DDR4 < HMC < Charon < Ideal.
+    assert 1.0 < geo["cpu-hmc"] < geo["charon"] < geo["ideal"]
+    # The headline factor lands in the paper's neighbourhood.
+    assert 2.0 < geo["charon"] < 6.0
+    # HMC alone is a modest win, as the paper stresses.
+    assert geo["cpu-hmc"] < 2.0

@@ -1,0 +1,26 @@
+"""Figure 13: utilized memory bandwidth during GC and access locality.
+
+Paper: Charon sustains far more than the 80 GB/s off-chip limit by
+riding the TSVs, and over 70% of its unit accesses are cube-local for
+most workloads (LR and CC drop to about half).
+"""
+
+from repro.experiments import figures, render_table
+
+from conftest import publish, run_once
+
+
+def test_figure13(benchmark):
+    rows = run_once(benchmark, figures.figure13)
+    publish("fig13_bandwidth", render_table(
+        rows,
+        title="Figure 13: average DRAM bandwidth during GC (GB/s) and "
+              "Charon local-access share (paper: >70%% local for most)"))
+    for row in rows:
+        # Charon always moves more bytes/second than the host can.
+        assert row["charon_gbps"] > row["cpu-ddr4_gbps"]
+        assert 0.0 <= row["local_pct"] <= 100.0
+    # The DDR4 host never exceeds its 34 GB/s; Charon exceeds the
+    # 80 GB/s external link on the bandwidth-hungry workloads.
+    assert all(row["cpu-ddr4_gbps"] <= 34.5 for row in rows)
+    assert any(row["charon_gbps"] > 80.0 for row in rows)

@@ -1,0 +1,33 @@
+"""Figure 14: per-primitive speedup of Charon over the DDR4 host.
+
+Paper averages (maxima): Search 2.90x (4.09x), Scan&Push 1.20x (1.86x,
+with degradation on the Spark ML workloads), Copy 10.17x (26.15x),
+Bitmap Count 5.63x (6.11x).
+"""
+
+from repro.experiments import figures, render_table
+
+from conftest import publish, run_once
+
+
+def test_figure14(benchmark):
+    rows = run_once(benchmark, figures.figure14)
+    publish("fig14_per_primitive", render_table(
+        rows,
+        title="Figure 14: per-primitive speedup, Charon vs cpu-ddr4 "
+              "(paper avg: S 2.90, SP 1.20, C 10.17, BC 5.63)"))
+    average = next(r for r in rows if r["workload"] == "average")
+    peak = next(r for r in rows if r["workload"] == "max")
+    # Search: all workloads benefit moderately.
+    assert 2.0 < average["search"] < 4.5
+    # Scan&Push: the weakest primitive, degrading on ML workloads.
+    assert average["scan_push"] < 1.5
+    spark_sp = [r["scan_push"] for r in rows
+                if r["workload"] in ("BS", "KM", "LR")]
+    assert all(value < 1.2 for value in spark_sp)
+    # Copy: the strongest primitive; ALS peaks it.
+    assert average["copy"] > 3.0
+    assert peak["copy"] == max(
+        r["copy"] for r in rows if isinstance(r["copy"], float))
+    # Bitmap Count: the optimized algorithm + bitmap cache pay off.
+    assert average["bitmap_count"] > 3.0

@@ -1,0 +1,29 @@
+"""Figure 16: memory-side vs CPU-side Charon placement.
+
+Paper: placing the units beside the host memory controller keeps the
+MLP and algorithm benefits but forfeits the internal TSV bandwidth —
+about 37% less throughput than the logic-layer placement (i.e. the
+memory side is ~1.59x the CPU side).
+"""
+
+from repro.experiments import figures, render_table
+from repro.units import geomean
+
+from conftest import publish, run_once
+
+
+def test_figure16(benchmark):
+    rows = run_once(benchmark, figures.figure16)
+    publish("fig16_cpu_side", render_table(
+        rows,
+        title="Figure 16: memory-side vs CPU-side Charon "
+              "(paper: memory side ~1.59x the CPU side)"))
+    geo = rows[-1]
+    assert geo["workload"] == "geomean"
+    # Memory-side wins overall, within the paper's neighbourhood.
+    assert 1.2 < geo["memside_vs_cpuside"] < 2.2
+    # CPU-side Charon still beats the plain host (MLP + algorithms).
+    assert all(row["charon_cpuside"] > 1.0 for row in rows[:-1])
+    # The copy-heavy workloads show the biggest memory-side advantage.
+    als = next(r for r in rows if r["workload"] == "ALS")
+    assert als["memside_vs_cpuside"] > 1.0

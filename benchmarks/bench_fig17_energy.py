@@ -1,0 +1,29 @@
+"""Figure 17: GC energy across platforms.
+
+Paper: Charon cuts GC energy 60.7% vs the DDR4 host and 51.6% vs the
+HMC host, despite drawing somewhat more power while running, because
+collections finish so much earlier.
+"""
+
+from repro.experiments import figures, render_table
+
+from conftest import publish, run_once
+
+
+def test_figure17(benchmark):
+    rows = run_once(benchmark, figures.figure17)
+    summary = figures.energy_savings_summary()
+    text = render_table(
+        rows,
+        title="Figure 17: GC energy normalized to cpu-ddr4 "
+              "(paper: Charon at 0.393 vs DDR4, 0.484 vs HMC)")
+    text += (f"\n\nmeasured savings: {summary['savings_vs_ddr4_pct']}% "
+             f"vs DDR4, {summary['savings_vs_hmc_pct']}% vs HMC "
+             "(paper: 60.7% / 51.6%)")
+    publish("fig17_energy", text)
+    average = rows[-1]
+    assert average["workload"] == "average"
+    # The ordering and rough magnitudes of the paper.
+    assert average["charon"] < average["cpu-hmc"] < 1.0
+    assert 40.0 < summary["savings_vs_ddr4_pct"] < 80.0
+    assert 30.0 < summary["savings_vs_hmc_pct"] < 70.0

@@ -1,0 +1,43 @@
+"""Section 3.3's offload-selection argument, quantified.
+
+The paper excludes linked-list traversal ("limited parallelism,
+latency-bound") and allocate/check-mark ("single atomic instructions"
+with too-small offload granularity) from the offload set.  This bench
+reproduces both comparisons.
+"""
+
+from repro.experiments import primitive_selection, render_table
+
+from conftest import publish, run_once
+
+
+def test_primitive_selection(benchmark):
+    def generate():
+        return (primitive_selection.linked_list_study(),
+                primitive_selection.check_mark_study(),
+                primitive_selection.selection_summary())
+
+    traversal, marks, summary = run_once(benchmark, generate)
+    text = render_table(
+        traversal, title="Sec. 3.3: linked-list traversal vs an "
+        "equal-volume Copy")
+    text += "\n\n" + render_table(
+        marks, title="Sec. 3.3: a single check-mark, host vs offload")
+    summary_rows = [{"metric": key, "value": value}
+                    for key, value in summary.items()]
+    text += "\n\n" + render_table(summary_rows, title="Conclusion")
+    publish("sec33_primitive_selection", text)
+
+    # The traversal's gain is a small constant factor...
+    assert summary["traversal_speedup"] < 3.0
+    # ...an order of magnitude below the bandwidth-parallel Copy.
+    assert summary["traversal_benefit_small"]
+    assert summary["copy_speedup"] > 8.0
+    # Per-node offloads are even worse than one big offload.
+    per_node = next(r for r in traversal
+                    if "per-node" in r["operation"])
+    one_shot = next(r for r in traversal
+                    if "one offload" in r["operation"])
+    assert per_node["speedup"] < one_shot["speedup"]
+    # And a check-mark offload costs several times a cached host check.
+    assert summary["check_mark_offload_penalty"] > 2.0

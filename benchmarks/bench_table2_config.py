@@ -1,0 +1,35 @@
+"""Table 2: the architectural parameters as actually configured.
+
+Not a performance result; this bench asserts the simulated system is
+built from the paper's numbers (the figure benches then depend on it).
+"""
+
+import pytest
+
+from repro.experiments import render_table, tables
+
+from conftest import publish, run_once
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, tables.table2)
+    publish("table2_config", render_table(
+        rows, title="Table 2: architectural parameters in effect"))
+    params = {row["parameter"]: row["value"] for row in rows}
+    assert params["host cores"] == 8
+    assert params["host frequency (GHz)"] == pytest.approx(2.67)
+    assert params["instruction window"] == 36
+    assert params["DDR4 bandwidth (GB/s)"] == pytest.approx(34.0)
+    assert params["DDR4 energy (pJ/bit)"] == 35.0
+    assert params["HMC cubes"] == 4
+    assert params["HMC vaults per cube"] == 32
+    assert params["HMC internal BW per cube (GB/s)"] == \
+        pytest.approx(320.0)
+    assert params["HMC link BW (GB/s)"] == pytest.approx(80.0)
+    assert params["HMC link latency (ns)"] == pytest.approx(3.0)
+    assert params["HMC energy (pJ/bit)"] == 21.0
+    assert params["Copy/Search units"] == 8
+    assert params["Bitmap Count units"] == 8
+    assert params["Scan&Push units"] == 8
+    assert params["bitmap cache (KB)"] == 8
+    assert params["MAI entries per cube"] == 32

@@ -1,0 +1,29 @@
+"""Table 4: Charon component areas and the Sec. 5.3 power headroom."""
+
+import pytest
+
+from repro.core import area_power
+from repro.experiments import render_table, tables
+
+from conftest import publish, run_once
+
+
+def test_table4(benchmark):
+    def generate():
+        return tables.table4(), tables.table4_summary()
+
+    rows, summary = run_once(benchmark, generate)
+    text = render_table(rows, title="Table 4: Charon area (mm^2, "
+                        "TSMC 40nm synthesis results from the paper)")
+    summary_rows = [{"metric": key, "value": value}
+                    for key, value in summary.items()]
+    text += "\n\n" + render_table(summary_rows,
+                                  title="Sec. 5.3 area/power headlines")
+    publish("table4_area", text)
+
+    assert summary["total_area_mm2"] == pytest.approx(1.947, abs=1e-3)
+    assert summary["logic_layer_fraction_pct"] == pytest.approx(
+        0.49, abs=0.02)
+    assert summary["max_power_density_mw_mm2"] == pytest.approx(
+        45.1, abs=0.2)
+    assert area_power.thermally_feasible()

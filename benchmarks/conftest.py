@@ -1,0 +1,32 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's result exhibits.  The
+rendered tables are printed (visible with ``pytest -s``) and also
+written under ``benchmarks/results/`` so EXPERIMENTS.md can be checked
+against a fresh run.  Workload traces are produced once per session and
+shared through :mod:`repro.experiments.runner`'s cache, so the full
+suite replays each workload on each platform exactly once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print an exhibit and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment sweeps are deterministic and expensive; statistical
+    repetition would only re-measure the memoisation layer.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Heap-sizing study: how GC overhead explodes as the heap shrinks
+(the Fig. 2 methodology on one workload).
+
+    python examples/heap_sizing.py [workload]
+"""
+
+import sys
+
+from repro.errors import OutOfMemoryError
+from repro.experiments.runner import (collect_run, find_min_heap,
+                                      replay_platform)
+
+
+def main(name: str) -> None:
+    print(f"bisecting the minimum viable heap for {name} "
+          "(each probe is a full run; OOM means too small)...")
+    minimum = find_min_heap(name)
+    print(f"minimum heap: {minimum / 2**20:.1f} MB\n")
+
+    print(f"{'heap':>10s} {'GCs':>5s} {'GC time':>9s} "
+          f"{'mutator':>9s} {'overhead':>9s}")
+    for factor in (1.0, 1.25, 1.5, 2.0, 3.0):
+        heap_bytes = ((int(minimum * factor) + (1 << 20) - 1)
+                      >> 20) << 20
+        run = collect_run(name, heap_bytes=heap_bytes)
+        timing = replay_platform("cpu-ddr4", name,
+                                 heap_bytes=heap_bytes)
+        overhead = timing.wall_seconds / run.mutator_seconds
+        print(f"{heap_bytes / 2**20:8.0f}MB {run.gc_count:5d} "
+              f"{timing.wall_seconds * 1e3:7.2f}ms "
+              f"{run.mutator_seconds * 1e3:7.1f}ms "
+              f"{overhead * 100:8.1f}%")
+
+    # Demonstrate the OOM boundary itself.
+    too_small = (minimum // 2 >> 20) << 20 or 1 << 20
+    try:
+        collect_run(name, heap_bytes=too_small)
+        print(f"\nunexpectedly survived {too_small / 2**20:.0f} MB")
+    except OutOfMemoryError as error:
+        print(f"\nat {too_small / 2**20:.0f} MB the run dies as "
+              f"expected: {error}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "graphchi-cc")

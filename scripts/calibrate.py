@@ -1,0 +1,35 @@
+"""Calibration diagnostics: per-primitive per-event costs by platform.
+
+Not part of the library API; used while tuning the cost model against
+the paper's Fig. 12/14 targets.  Run: python scripts/calibrate.py [wl].
+"""
+
+import sys
+
+from repro.experiments.runner import collect_run, replay_platform
+from repro.gcalgo.trace import Primitive
+from repro.workloads.registry import WORKLOAD_NAMES
+
+names = sys.argv[1:] or list(WORKLOAD_NAMES)
+
+for name in names:
+    run = collect_run(name)
+    counts = {p: 0 for p in Primitive}
+    for trace in run.traces:
+        for p in Primitive:
+            counts[p] += trace.count(p)
+    host = replay_platform("cpu-ddr4", name)
+    charon = replay_platform("charon", name)
+    print(f"== {name}  (minors={run.minor_count} majors={run.major_count}) "
+          f"walls: host={host.wall_seconds*1e3:.2f}ms "
+          f"charon={charon.wall_seconds*1e3:.2f}ms "
+          f"resid h={host.residual_seconds*1e3:.2f} "
+          f"c={charon.residual_seconds*1e3:.2f}")
+    for p in Primitive:
+        n = counts[p]
+        if not n:
+            continue
+        h = host.primitive_seconds.get(p, 0.0)
+        c = charon.primitive_seconds.get(p, 0.0)
+        print(f"   {p.value:13s} n={n:7d} host/ev={h/n*1e9:8.1f}ns "
+              f"charon/ev={c/n*1e9:8.1f}ns  speedup={h/c if c else 0:6.2f}")

@@ -1,0 +1,6 @@
+"""Setuptools shim (the environment has no `wheel` package, so the
+legacy `setup.py develop` path is what `pip install -e .` uses)."""
+
+from setuptools import setup
+
+setup()

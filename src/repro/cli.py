@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the workloads, platforms and exhibits available;
+* ``run WORKLOAD [--platform P] [--heap-mb N] [--threads T]`` — run a
+  workload and replay its GC trace on one platform;
+* ``compare WORKLOAD`` — replay one workload on every platform;
+* ``figure N`` / ``table N`` — regenerate a paper exhibit;
+* ``ablation NAME`` — run one of the ablation studies;
+* ``trace WORKLOAD OUT.json`` / ``replay IN.json`` — capture a GC
+  trace to disk and replay it later on any platform;
+* ``report WORKLOAD`` — a zsim-style Charon device statistics dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import default_config
+from repro.experiments import ablations, figures, tables
+from repro.experiments.report import render_table
+from repro.experiments.runner import collect_run, replay_platform
+from repro.gcalgo.trace import Primitive
+from repro.gcalgo.trace_io import load_traces, save_traces
+from repro.platform.factory import PLATFORM_NAMES, build_platform
+from repro.workloads.registry import WORKLOAD_NAMES
+
+FIGURES = {
+    "2": figures.figure2,
+    "4": figures.figure4,
+    "12": figures.figure12,
+    "13": figures.figure13,
+    "14": figures.figure14,
+    "15": figures.figure15,
+    "16": figures.figure16,
+    "17": figures.figure17,
+}
+
+TABLES = {
+    "1": tables.table1,
+    "2": tables.table2,
+    "3": tables.table3,
+    "4": tables.table4,
+}
+
+ABLATIONS = {
+    "bitmap-cache": ablations.bitmap_cache_ablation,
+    "scan-push-placement": ablations.scan_push_placement_ablation,
+    "unit-count": ablations.unit_count_sweep,
+    "dispatch-overhead": ablations.dispatch_overhead_sweep,
+    "topology": ablations.topology_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Charon (MICRO-52 2019) reproduction driver")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="available workloads/platforms/"
+                                     "exhibits")
+
+    run = commands.add_parser("run", help="run one workload on one "
+                                          "platform")
+    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("--platform", choices=PLATFORM_NAMES,
+                     default="charon")
+    run.add_argument("--heap-mb", type=int, default=None)
+    run.add_argument("--threads", type=int, default=None)
+
+    compare = commands.add_parser("compare", help="one workload, all "
+                                                  "platforms")
+    compare.add_argument("workload", choices=WORKLOAD_NAMES)
+    compare.add_argument("--heap-mb", type=int, default=None)
+
+    figure = commands.add_parser("figure", help="regenerate a paper "
+                                                "figure")
+    figure.add_argument("number", choices=sorted(FIGURES))
+    figure.add_argument("--workloads", nargs="*", default=None,
+                        choices=WORKLOAD_NAMES)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=sorted(TABLES))
+
+    ablation = commands.add_parser("ablation", help="run an ablation "
+                                                    "study")
+    ablation.add_argument("name", choices=sorted(ABLATIONS))
+    ablation.add_argument("--workloads", nargs="*", default=None,
+                          choices=WORKLOAD_NAMES)
+
+    trace = commands.add_parser("trace", help="capture a workload's GC "
+                                              "trace to a file")
+    trace.add_argument("workload", choices=WORKLOAD_NAMES)
+    trace.add_argument("output")
+    trace.add_argument("--heap-mb", type=int, default=None)
+
+    replay = commands.add_parser("replay", help="replay a captured "
+                                                "trace file")
+    replay.add_argument("input")
+    replay.add_argument("--platform", choices=PLATFORM_NAMES,
+                        default="charon")
+    replay.add_argument("--threads", type=int, default=None)
+
+    report = commands.add_parser("report", help="Charon device "
+                                                "statistics for a run")
+    report.add_argument("workload", choices=WORKLOAD_NAMES)
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["workloads:"]
+    lines += [f"  {name}" for name in WORKLOAD_NAMES]
+    lines.append("platforms:")
+    lines += [f"  {name}" for name in PLATFORM_NAMES]
+    lines.append(f"figures: {', '.join(sorted(FIGURES))}")
+    lines.append(f"tables:  {', '.join(sorted(TABLES))}")
+    lines.append(f"ablations: {', '.join(sorted(ABLATIONS))}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args) -> str:
+    heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    run = collect_run(args.workload, heap_bytes=heap_bytes)
+    result = replay_platform(args.platform, args.workload,
+                             heap_bytes=heap_bytes,
+                             threads=args.threads)
+    lines = [
+        f"{args.workload}: {run.minor_count} minor / "
+        f"{run.major_count} major GCs, "
+        f"{run.allocated_bytes / 2**20:.1f} MB allocated",
+        f"platform {args.platform}: GC wall "
+        f"{result.wall_seconds * 1e3:.3f} ms, energy "
+        f"{result.energy.total_j * 1e3:.2f} mJ, bandwidth "
+        f"{result.utilized_bandwidth / 1e9:.1f} GB/s",
+    ]
+    for primitive in Primitive:
+        seconds = result.primitive_seconds.get(primitive)
+        if seconds:
+            lines.append(f"  {primitive.value:13s} "
+                         f"{seconds * 1e3:8.3f} ms work")
+    lines.append(f"  {'other':13s} "
+                 f"{result.residual_seconds * 1e3:8.3f} ms work")
+    return "\n".join(lines)
+
+
+def _cmd_compare(args) -> str:
+    heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    rows = []
+    baseline = None
+    for platform in PLATFORM_NAMES:
+        result = replay_platform(platform, args.workload,
+                                 heap_bytes=heap_bytes)
+        if baseline is None:
+            baseline = result.wall_seconds
+        rows.append({
+            "platform": platform,
+            "gc_ms": round(result.wall_seconds * 1e3, 3),
+            "speedup": round(baseline / result.wall_seconds, 2),
+            "energy_mj": round(result.energy.total_j * 1e3, 2),
+            "gbps": round(result.utilized_bandwidth / 1e9, 1),
+        })
+    return render_table(rows, title=f"{args.workload} across platforms")
+
+
+def _cmd_replay(args) -> str:
+    from repro.heap.heap import JavaHeap
+    from repro.platform import TraceReplayer
+    from repro.workloads.base import workload_klasses
+
+    traces = load_traces(args.input)
+    heap_bytes = max(t.heap_bytes for t in traces) \
+        or 16 * (1 << 20)
+    config = default_config().with_heap_bytes(heap_bytes)
+    heap = JavaHeap(config.heap, klasses=workload_klasses())
+    platform = build_platform(args.platform, config, heap)
+    result = TraceReplayer(platform, threads=args.threads) \
+        .replay_all(traces)
+    return (f"replayed {len(traces)} traces on {args.platform}: "
+            f"{result.wall_seconds * 1e3:.3f} ms, "
+            f"{result.energy.total_j * 1e3:.2f} mJ, "
+            f"{result.utilized_bandwidth / 1e9:.1f} GB/s")
+
+
+def _cmd_report(args) -> str:
+    from repro.core.report import full_report
+    from repro.heap.heap import JavaHeap
+    from repro.platform import TraceReplayer
+    from repro.workloads.base import workload_klasses
+    from repro.experiments.runner import workload_config
+
+    run = collect_run(args.workload)
+    config = workload_config(args.workload)
+    heap = JavaHeap(config.heap, klasses=workload_klasses())
+    platform = build_platform("charon", config, heap)
+    TraceReplayer(platform).replay_all(run.traces)
+    return full_report(platform.device)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "compare":
+        print(_cmd_compare(args))
+    elif args.command == "figure":
+        generator = FIGURES[args.number]
+        rows = generator(args.workloads) if args.workloads is not None \
+            else generator()
+        print(render_table(rows, title=f"Figure {args.number}"))
+    elif args.command == "table":
+        print(render_table(TABLES[args.number](),
+                           title=f"Table {args.number}"))
+    elif args.command == "ablation":
+        generator = ABLATIONS[args.name]
+        rows = generator(args.workloads) if args.workloads is not None \
+            else generator()
+        print(render_table(rows, title=f"Ablation: {args.name}"))
+    elif args.command == "trace":
+        heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+        run = collect_run(args.workload, heap_bytes=heap_bytes)
+        events = save_traces(run.traces, args.output)
+        print(f"wrote {len(run.traces)} GC traces "
+              f"({events} primitive events) to {args.output}")
+    elif args.command == "replay":
+        print(_cmd_replay(args))
+    elif args.command == "report":
+        print(_cmd_report(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Charon: the near-memory GC accelerator (the paper's contribution).
+
+The device sits in the logic layer of each HMC cube (Fig. 5b) and
+executes the offloaded primitives:
+
+* :mod:`~repro.core.units.copy_search` — the Copy/Search unit (Fig. 6a);
+* :mod:`~repro.core.units.bitmap_count` — the Bitmap Count unit
+  (Fig. 6b) with the optimized subtract-and-popcount algorithm
+  (:mod:`~repro.core.bitmap_math`);
+* :mod:`~repro.core.units.scan_push` — the Scan&Push unit (Fig. 6c).
+
+Shared structures: per-primitive command queues, the Memory Access
+Interface (MSHR-like request buffer), the accelerator-side TLB over
+pinned huge pages, and the 8 KB bitmap cache.  The host talks to the
+device through the two intrinsics of Sec. 4.1 (``initialize`` and
+``offload``) carried in 48-byte request / 16-32-byte response packets.
+"""
+
+from repro.core.packets import OffloadRequest, OffloadResponse
+from repro.core.device import CharonDevice
+from repro.core.intrinsics import CharonRuntime
+from repro.core.area_power import charon_area_report, CHARON_TOTAL_AREA_MM2
+
+__all__ = [
+    "OffloadRequest",
+    "OffloadResponse",
+    "CharonDevice",
+    "CharonRuntime",
+    "charon_area_report",
+    "CHARON_TOTAL_AREA_MM2",
+]

@@ -1,0 +1,105 @@
+"""Charon area and power model (Table 4, Sec. 5.3).
+
+The paper synthesised the units with Chisel3 + Synopsys DC (TSMC 40 nm)
+and used CACTI for the buffer structures; Table 4 reports the resulting
+per-unit areas, which we encode directly.  The power side uses the
+measured averages the paper states: 2.98 W average across workloads
+(4.51 W max, for ALS), against a 100 mm^2 HMC logic layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ComponentArea:
+    """One Table 4 row."""
+
+    name: str
+    per_unit_mm2: float
+    units: int
+
+    @property
+    def total_mm2(self) -> float:
+        return self.per_unit_mm2 * self.units
+
+
+#: Table 4, verbatim.
+CHARON_COMPONENTS: List[ComponentArea] = [
+    ComponentArea("Command Queue", 0.0049, 4),
+    ComponentArea("Request Queue(R)", 0.0015, 4),
+    ComponentArea("Request Queue(W)", 0.0162, 4),
+    ComponentArea("Metadata Array", 0.0805, 4),
+    ComponentArea("Bitmap Cache", 0.1562, 1),
+    ComponentArea("TLB", 0.0706, 4),
+    ComponentArea("Copy/Search", 0.0223, 8),
+    ComponentArea("Bitmap Count", 0.0427, 8),
+    ComponentArea("Scan&Push", 0.0720, 8),
+]
+
+#: Table 4 totals as printed in the paper.
+CHARON_TOTAL_AREA_MM2 = 1.9470
+CHARON_AREA_PER_CUBE_MM2 = 0.4868
+
+#: Sec. 5.3 power figures.
+CHARON_AVG_POWER_W = 2.98
+CHARON_MAX_POWER_W = 4.51
+HMC_LOGIC_LAYER_AREA_MM2 = 100.0
+#: Max power density of a low-end passive heat sink the paper compares
+#: against (Eckert et al., WoNDP'14 ballpark).
+PASSIVE_HEATSINK_LIMIT_MW_PER_MM2 = 80.0
+
+
+def charon_total_area(cubes: int = 4) -> float:
+    """Computed total area in mm^2 (should match Table 4's total)."""
+    return sum(c.total_mm2 for c in CHARON_COMPONENTS)
+
+
+def charon_area_per_cube(cubes: int = 4) -> float:
+    return charon_total_area(cubes) / cubes
+
+
+def logic_layer_fraction() -> float:
+    """Charon's share of a 100 mm^2 HMC logic layer (paper: 0.49%)."""
+    return charon_area_per_cube() / HMC_LOGIC_LAYER_AREA_MM2
+
+
+def max_power_density_mw_per_mm2() -> float:
+    """Worst-case power density of the logic die (paper: 45.1 mW/mm^2).
+
+    The paper divides the maximum power (4.51 W, ALS) by the full
+    logic-layer area, since the heat spreads over the die.
+    """
+    return CHARON_MAX_POWER_W / HMC_LOGIC_LAYER_AREA_MM2 * 1000.0
+
+
+def thermally_feasible() -> bool:
+    return max_power_density_mw_per_mm2() \
+        < PASSIVE_HEATSINK_LIMIT_MW_PER_MM2
+
+
+def charon_area_report() -> List[Dict[str, object]]:
+    """Table 4 as report rows."""
+    rows: List[Dict[str, object]] = []
+    for component in CHARON_COMPONENTS:
+        rows.append({
+            "component": component.name,
+            "per_unit_mm2": component.per_unit_mm2,
+            "units": component.units,
+            "total_mm2": round(component.total_mm2, 4),
+        })
+    rows.append({
+        "component": "Total",
+        "per_unit_mm2": None,
+        "units": None,
+        "total_mm2": round(charon_total_area(), 4),
+    })
+    rows.append({
+        "component": "Average per cube",
+        "per_unit_mm2": None,
+        "units": None,
+        "total_mm2": round(charon_area_per_cube(), 4),
+    })
+    return rows

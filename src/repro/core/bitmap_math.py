@@ -1,0 +1,100 @@
+"""The Bitmap Count unit's optimized algorithm (Sec. 4.3, Fig. 9).
+
+The software baseline walks the begin/end bitmaps bit by bit (Fig. 8).
+Charon instead computes, over the queried range,
+
+``live words = CountSetBits(endMap - begMap) + CountSetBits(begMap)``
+
+where both maps are interpreted as integers whose bit 0 is the *first*
+word of the range (the paper writes ``begMap - endMap``; the sign
+convention depends on which end of the bit stream is most significant —
+with our little-endian interpretation each begin bit ``i`` pairs with an
+end bit ``j >= i`` and ``2^j - 2^i`` contributes exactly the bits
+``i..j-1``, so the subtraction runs end-minus-begin).
+
+Because paired intervals are disjoint and ordered, per-pair differences
+never borrow across pairs, and the datapath can stream the maps one
+64-bit word at a time with a single borrow flip-flop — which is what
+:func:`streaming_live_words` models and what the hardware block diagram
+in Fig. 6b implements.
+
+Corner cases (the paper notes they are handled but omits details): a
+range may begin inside an object (an unmatched end bit) or end inside
+one (an unmatched begin bit); the unit virtually begins/closes those
+partial objects at the range boundaries so they contribute their
+in-range words.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+
+
+def popcount64(word: int) -> int:
+    """Set-bit count of one 64-bit word (the unit's popcount tree)."""
+    if not 0 <= word <= _MASK64:
+        raise ConfigError("popcount64 takes a 64-bit word")
+    return bin(word).count("1")
+
+
+def prepare_range(beg_words: Sequence[int], end_words: Sequence[int],
+                  num_bits: int, inside_at_start: bool
+                  ) -> Tuple[List[int], List[int]]:
+    """Apply the boundary corner cases to a raw bitmap range.
+
+    Returns adjusted copies of the word streams: a virtual begin bit at
+    position 0 when the range starts inside an object, and a virtual end
+    bit at the final position when the last object extends past the
+    range.
+    """
+    if num_bits <= 0:
+        return [], []
+    n_words = (num_bits + 63) // 64
+    if len(beg_words) != n_words or len(end_words) != n_words:
+        raise ConfigError("word streams do not match num_bits")
+    beg = [w & _MASK64 for w in beg_words]
+    end = [w & _MASK64 for w in end_words]
+    # Mask tail bits beyond the range.
+    tail_bits = num_bits & 63
+    if tail_bits:
+        tail_mask = (1 << tail_bits) - 1
+        beg[-1] &= tail_mask
+        end[-1] &= tail_mask
+    if inside_at_start:
+        beg[0] |= 1
+    n_beg = sum(popcount64(w) for w in beg)
+    n_end = sum(popcount64(w) for w in end)
+    if n_beg > n_end:
+        last = num_bits - 1
+        end[last >> 6] |= 1 << (last & 63)
+    elif n_end > n_beg:
+        raise ConfigError("unmatched end bit: inconsistent bitmaps")
+    return beg, end
+
+
+def streaming_live_words(beg_words: Sequence[int],
+                         end_words: Sequence[int], num_bits: int,
+                         inside_at_start: bool = False) -> int:
+    """Count live words the way the hardware does: word-serial
+    subtraction with a borrow flip-flop, popcounting as it goes."""
+    beg, end = prepare_range(beg_words, end_words, num_bits,
+                             inside_at_start)
+    borrow = 0
+    count = 0
+    for b_word, e_word in zip(beg, end):
+        raw = e_word - b_word - borrow
+        borrow = 1 if raw < 0 else 0
+        count += popcount64(raw & _MASK64) + popcount64(b_word)
+    if borrow:
+        raise ConfigError("borrow out of the final word: "
+                          "inconsistent bitmaps")
+    return count
+
+
+def words_for_bits(num_bits: int) -> int:
+    """64-bit bitmap words the unit must fetch for a range (per map)."""
+    return (num_bits + 63) // 64

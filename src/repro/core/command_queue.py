@@ -1,0 +1,81 @@
+"""Command queues in each cube's logic layer (Fig. 5b).
+
+Arriving offload packets are buffered in a cube-level command queue and
+forwarded to the per-primitive queue of the matching unit class; a unit
+pulls the head entry when it goes idle.  Functionally these are bounded
+FIFOs with occupancy statistics; the timing layer uses the unit
+``busy_until`` horizon for queueing delay, and the bounded depth gives
+the backpressure point (a full queue stalls the host, which the paper's
+blocking intrinsic semantics already imply).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, Optional, TypeVar
+
+from repro.errors import DeviceBusyError
+from repro.gcalgo.trace import Primitive
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a depth limit and high-water statistics."""
+
+    def __init__(self, name: str, depth: int) -> None:
+        if depth <= 0:
+            raise DeviceBusyError(f"queue {name!r} needs positive depth")
+        self.name = name
+        self.depth = depth
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.max_occupancy = 0
+        self.rejections = 0
+
+    def push(self, item: T) -> None:
+        if len(self._items) >= self.depth:
+            self.rejections += 1
+            raise DeviceBusyError(f"queue {self.name!r} is full")
+        self._items.append(item)
+        self.enqueued += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def pop(self) -> T:
+        if not self._items:
+            raise DeviceBusyError(f"queue {self.name!r} is empty")
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.depth
+
+
+class CubeCommandQueues:
+    """The cube-level queue plus one queue per primitive class."""
+
+    def __init__(self, cube: int, depth: int) -> None:
+        self.cube = cube
+        self.ingress: BoundedQueue = BoundedQueue(
+            f"cube{cube}.ingress", depth)
+        self.per_primitive: Dict[Primitive, BoundedQueue] = {
+            primitive: BoundedQueue(f"cube{cube}.{primitive.value}", depth)
+            for primitive in Primitive
+        }
+
+    def route(self) -> Optional[Primitive]:
+        """Move the ingress head to its per-primitive queue.
+
+        Returns the primitive routed, or ``None`` if ingress is empty.
+        """
+        if not len(self.ingress):
+            return None
+        request = self.ingress.pop()
+        self.per_primitive[request.primitive].push(request)
+        return request.primitive

@@ -1,0 +1,85 @@
+"""Memory Access Interface (Sec. 4.1).
+
+The MAI is the MSHR-analogue of the logic layer: a unit hands it an
+address, its unit id and optional request metadata; the MAI parks the
+metadata in a free request-buffer slot, tags the memory request with the
+slot index, and on completion returns the metadata to the requesting
+unit.  Its finite buffer is what bounds a cube's outstanding-request
+parallelism — the number the units' streaming loops are allowed to keep
+in flight (Table 2: 32 entries per cube).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import DeviceBusyError
+
+
+@dataclass
+class MAIEntry:
+    """One occupied request-buffer slot."""
+
+    tag: int
+    unit_id: int
+    addr: int
+    metadata: Any = None
+
+
+class MemoryAccessInterface:
+    """Per-cube request buffer with tag allocation."""
+
+    def __init__(self, cube: int, entries: int) -> None:
+        if entries <= 0:
+            raise DeviceBusyError("MAI needs at least one entry")
+        self.cube = cube
+        self.entries = entries
+        self._slots: Dict[int, MAIEntry] = {}
+        self._free = list(range(entries - 1, -1, -1))
+        self.issued = 0
+        self.completed = 0
+        self.max_in_flight = 0
+        self.full_stalls = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._slots)
+
+    @property
+    def has_space(self) -> bool:
+        return bool(self._free)
+
+    def issue(self, unit_id: int, addr: int,
+              metadata: Any = None) -> int:
+        """Allocate a slot for a request; returns its tag.
+
+        Raises :class:`DeviceBusyError` when the buffer is full — the
+        unit's issue loop stalls until a response frees a slot
+        ("as long as the MAI can accept the requests", Sec. 4.2).
+        """
+        if not self._free:
+            self.full_stalls += 1
+            raise DeviceBusyError(f"MAI on cube {self.cube} is full")
+        tag = self._free.pop()
+        self._slots[tag] = MAIEntry(tag=tag, unit_id=unit_id, addr=addr,
+                                    metadata=metadata)
+        self.issued += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+        return tag
+
+    def complete(self, tag: int) -> MAIEntry:
+        """Retire the request with ``tag``; returns its entry."""
+        try:
+            entry = self._slots.pop(tag)
+        except KeyError:
+            raise DeviceBusyError(f"MAI tag {tag} is not in flight") \
+                from None
+        self._free.append(tag)
+        self.completed += 1
+        return entry
+
+    def effective_mlp(self) -> int:
+        """The parallelism the MAI affords a streaming unit."""
+        return self.entries

@@ -1,0 +1,122 @@
+"""Offload request/response packets (Sec. 4.1).
+
+The request is 48 bytes: a 16-byte HMC header/tail (carrying the
+destination cube id), a 4-bit primitive type, two 8-byte addresses, and
+up to 124 bits of extra operands.  The response is 32 bytes when it
+carries a return value and 16 bytes otherwise.  We encode/decode real
+byte strings so the wire format is testable, and the platform layer
+charges the exact packet sizes to the serial links.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PacketError
+from repro.gcalgo.trace import PRIMITIVE_TYPE_CODES, Primitive
+
+REQUEST_BYTES = 48
+RESPONSE_BYTES_VALUE = 32
+RESPONSE_BYTES_NOVALUE = 16
+
+_CODE_TO_PRIMITIVE = {code: prim
+                      for prim, code in PRIMITIVE_TYPE_CODES.items()}
+
+# Layout: header (8B: magic u16, dest cube u8, type u8, pcid u32),
+# src addr (8B), dst addr (8B), arg (16B = 124-bit operand budget,
+# 4 bits reserved), tail (8B CRC stand-in).
+_REQUEST_FMT = "<HBBIQQ16sQ"
+_MAGIC = 0xC4A0
+
+
+@dataclass(frozen=True)
+class OffloadRequest:
+    """One ``offload(type, src, dst, arg)`` intrinsic invocation."""
+
+    primitive: Primitive
+    dest_cube: int
+    src: int
+    dst: int
+    arg: int = 0
+    pcid: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dest_cube < 256:
+            raise PacketError("destination cube does not fit the header")
+        if self.arg < 0 or self.arg >= 1 << 124:
+            raise PacketError("arg exceeds the 124-bit operand budget")
+        for name in ("src", "dst"):
+            value = getattr(self, name)
+            if value < 0 or value >= 1 << 64:
+                raise PacketError(f"{name} is not a 64-bit address")
+
+    @property
+    def type_code(self) -> int:
+        return PRIMITIVE_TYPE_CODES[self.primitive]
+
+    def encode(self) -> bytes:
+        packet = struct.pack(
+            _REQUEST_FMT, _MAGIC, self.dest_cube, self.type_code,
+            self.pcid, self.src, self.dst,
+            self.arg.to_bytes(16, "little"), 0)
+        if len(packet) != REQUEST_BYTES:
+            raise PacketError(
+                f"request packed to {len(packet)} bytes, want 48")
+        return packet
+
+    @staticmethod
+    def decode(packet: bytes) -> "OffloadRequest":
+        if len(packet) != REQUEST_BYTES:
+            raise PacketError(f"request packet must be {REQUEST_BYTES} "
+                              f"bytes, got {len(packet)}")
+        magic, cube, code, pcid, src, dst, arg_bytes, _tail = struct.unpack(
+            _REQUEST_FMT, packet)
+        if magic != _MAGIC:
+            raise PacketError("bad request magic")
+        try:
+            primitive = _CODE_TO_PRIMITIVE[code]
+        except KeyError:
+            raise PacketError(f"unknown primitive code {code}") from None
+        return OffloadRequest(primitive=primitive, dest_cube=cube,
+                              src=src, dst=dst,
+                              arg=int.from_bytes(arg_bytes, "little"),
+                              pcid=pcid)
+
+
+_RESPONSE_FMT = "<HBBIQ"  # magic, cube, flags, status, value
+
+
+@dataclass(frozen=True)
+class OffloadResponse:
+    """The return packet; 32 bytes with a value, 16 without."""
+
+    source_cube: int
+    has_value: bool
+    value: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return RESPONSE_BYTES_VALUE if self.has_value \
+            else RESPONSE_BYTES_NOVALUE
+
+    def encode(self) -> bytes:
+        body = struct.pack(_RESPONSE_FMT, _MAGIC, self.source_cube,
+                           1 if self.has_value else 0, 0,
+                           self.value if self.has_value else 0)
+        return body.ljust(self.size_bytes, b"\x00")
+
+    @staticmethod
+    def decode(packet: bytes) -> "OffloadResponse":
+        if len(packet) not in (RESPONSE_BYTES_VALUE,
+                               RESPONSE_BYTES_NOVALUE):
+            raise PacketError(f"bad response size {len(packet)}")
+        magic, cube, flags, _status, value = struct.unpack(
+            _RESPONSE_FMT, packet[:16])
+        if magic != _MAGIC:
+            raise PacketError("bad response magic")
+        has_value = bool(flags & 1)
+        if has_value and len(packet) != RESPONSE_BYTES_VALUE:
+            raise PacketError("value response must be 32 bytes")
+        return OffloadResponse(source_cube=cube, has_value=has_value,
+                               value=value if has_value else 0)

@@ -1,0 +1,73 @@
+"""Device introspection: a zsim-style statistics dump for Charon.
+
+Collects every counter the device's structures maintain — per-unit
+command/busy figures, TLB lookups, bitmap-cache behaviour, packet
+traffic, HMC locality — into plain rows for the report renderer, the
+CLI, or test assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.device import CharonDevice
+from repro.mem.hmc import HMCSystem
+
+
+def unit_rows(device: CharonDevice) -> List[Dict[str, object]]:
+    """One row per processing unit."""
+    rows = []
+    for (kind, cube), units in sorted(device.units.items()):
+        for unit in units:
+            rows.append({
+                "unit": f"{kind}#{unit.unit_id}",
+                "cube": cube,
+                "commands": unit.commands,
+                "busy_us": round(unit.busy_time * 1e6, 3),
+            })
+    return rows
+
+
+def device_summary(device: CharonDevice) -> Dict[str, object]:
+    """Aggregate device counters."""
+    tlb_lookups = device.tlbs.total_lookups
+    tlb_remote = device.tlbs.total_remote_lookups
+    cache = device.bitmap_cache
+    return {
+        "offloads": device.offloads,
+        "request_bytes": device.request_bytes_sent,
+        "response_bytes": device.response_bytes_sent,
+        "unit_busy_us_total": round(
+            device.busy_time_total() * 1e6, 3),
+        "tlb_lookups": tlb_lookups,
+        "tlb_remote_fraction": round(
+            tlb_remote / tlb_lookups, 3) if tlb_lookups else 0.0,
+        "bitmap_cache_hit_rate": round(cache.hit_rate, 3),
+        "bitmap_count_hit_rate": round(cache.read_hit_rate, 3),
+        "bitmap_cache_flushes": sum(s.flushes for s in cache.slices),
+    }
+
+
+def traffic_summary(hmc: HMCSystem) -> Dict[str, object]:
+    """Where the bytes went (Fig. 13's raw inputs)."""
+    return {
+        "tsv_bytes": hmc.tsv_bytes,
+        "link_bytes": hmc.link_bytes,
+        "host_link_bytes": hmc.host_link.bytes_served,
+        "unit_local_bytes": hmc.unit_local_bytes,
+        "unit_remote_bytes": hmc.unit_remote_bytes,
+        "local_fraction": round(hmc.local_fraction, 3),
+        "dram_energy_mj": round(hmc.energy_joules * 1e3, 4),
+    }
+
+
+def full_report(device: CharonDevice) -> str:
+    """A printable multi-section device report."""
+    from repro.experiments.report import render_table
+
+    sections = [
+        render_table([device_summary(device)], title="device"),
+        render_table(unit_rows(device), title="units"),
+        render_table([traffic_summary(device.hmc)], title="traffic"),
+    ]
+    return "\n\n".join(sections)

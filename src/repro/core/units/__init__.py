@@ -1,0 +1,14 @@
+"""Charon's specialized processing units (Fig. 6)."""
+
+from repro.core.units.base import CharonContext, ProcessingUnit
+from repro.core.units.copy_search import CopySearchUnit
+from repro.core.units.bitmap_count import BitmapCountUnit
+from repro.core.units.scan_push import ScanPushUnit
+
+__all__ = [
+    "CharonContext",
+    "ProcessingUnit",
+    "CopySearchUnit",
+    "BitmapCountUnit",
+    "ScanPushUnit",
+]

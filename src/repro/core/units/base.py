@@ -1,0 +1,123 @@
+"""Shared plumbing for the processing units.
+
+Each unit is a single-command server: offload packets queue at the unit
+(FIFO, through the cube's command queues) and execute one at a time.
+The unit's execution itself is highly parallel internally — that is the
+whole point — but commands are serialised per unit, and the device
+schedules each request to the least-busy eligible unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.bitmap_cache import BitmapCacheComplex
+from repro.core.tlb import TLBComplex
+from repro.mem.hmc import HMCSystem
+from repro.mem.vm import VirtualMemory
+
+
+@dataclass
+class CharonContext:
+    """Everything a unit needs to execute: memory system, translation,
+    bitmap cache, configuration, and the pinned-page map."""
+
+    config: SystemConfig
+    hmc: HMCSystem
+    vm: VirtualMemory
+    tlbs: TLBComplex
+    bitmap_cache: BitmapCacheComplex
+    pcid: int = 0
+    #: charge clflush probes on the host link (Sec. 4.1); BitmapCount
+    #: reads are exempt because the host never writes the bitmaps.
+    host_probes: bool = True
+    #: Fig. 16 variant: the units sit next to the host's memory
+    #: controller, so every access crosses the external serial links
+    #: and misses the TSV-side internal bandwidth.
+    cpu_side: bool = False
+
+    @property
+    def unit_cycle_s(self) -> float:
+        return 1.0 / self.config.charon.unit_freq_hz
+
+    def stream(self, now: float, unit_cube: int, target_cube: int,
+               nbytes: int, chunk_bytes: int, mlp: float,
+               issue_rate: Optional[float] = None,
+               dependent_batches: int = 1,
+               priority: bool = False) -> float:
+        """Bulk transfer from a unit's viewpoint, either placement."""
+        if self.cpu_side:
+            return self.hmc.host_path(target_cube).stream(
+                now, nbytes, chunk_bytes, mlp, issue_rate=issue_rate,
+                dependent_batches=dependent_batches, priority=priority)
+        return self.hmc.unit_stream(
+            now, unit_cube, target_cube, nbytes, chunk_bytes=chunk_bytes,
+            mlp=mlp, issue_rate=issue_rate,
+            dependent_batches=dependent_batches, priority=priority)
+
+    def split_by_cube(self, start: int, length: int
+                      ) -> List[Tuple[int, int, int]]:
+        """(run_start, run_length, cube) pieces of an address range."""
+        return self.vm.split_range_by_cube(start, length, self.pcid)
+
+    def translate(self, now: float, vaddr: int, from_cube: int
+                  ) -> Tuple[int, float]:
+        """Accelerator TLB lookup; returns (cube, completion_time)."""
+        hint = None
+        if self.tlbs.distributed:
+            hint = self.vm.cube_of(vaddr, self.pcid)
+        return self.tlbs.lookup(now, vaddr, self.pcid, from_cube,
+                                target_cube_hint=hint)
+
+    def probe_host(self, now: float, requests: int) -> None:
+        """clflush probe traffic toward the host cache hierarchy.
+
+        Probes ride the host serial link (8 B each) and are pipelined —
+        they consume link bandwidth but do not extend the primitive's
+        critical path (the units continue streaming while probes are in
+        flight).
+        """
+        if self.host_probes and requests > 0:
+            self.hmc.host_link.tally(8 * requests)
+
+
+class ProcessingUnit:
+    """Base class: a serialised command server with busy accounting."""
+
+    KIND = "unit"
+
+    def __init__(self, unit_id: int, cube: int,
+                 context: CharonContext) -> None:
+        self.unit_id = unit_id
+        self.cube = cube
+        self.context = context
+        self.busy_until = 0.0
+        self.commands = 0
+        self.busy_time = 0.0
+        self._release_at: Optional[float] = None
+
+    def dispatch(self, arrival: float, *args, **kwargs) -> float:
+        """Queue a command behind earlier ones; returns completion time.
+
+        A unit may release itself before the caller-visible completion
+        (e.g. the Copy unit is free once its reads drain, while the
+        fire-and-forget writes complete through the MAI); it signals
+        that by setting ``_release_at`` during execution.
+        """
+        start = max(arrival, self.busy_until)
+        self._release_at = None
+        finish = self.execute(start, *args, **kwargs)
+        release = self._release_at
+        self.busy_until = release if release is not None else finish
+        self.commands += 1
+        self.busy_time += self.busy_until - start
+        return finish
+
+    def execute(self, start: float, *args, **kwargs) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(id={self.unit_id}, "
+                f"cube={self.cube})")

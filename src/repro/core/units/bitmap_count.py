@@ -1,0 +1,72 @@
+"""The Bitmap Count unit (Sec. 4.3, Fig. 6b).
+
+The unit receives the range's start/end addresses; the begin-map words
+come from ``bitmap_base + bit_offset/8`` and the end-map words from a
+constant ``OFFSET`` further (configured once by ``initialize()``).  It
+knows the exact word count up front, so it issues all bitmap reads
+immediately, runs them through the bitmap cache, and streams the
+returned words through the subtract-and-popcount datapath
+(:mod:`repro.core.bitmap_math`) at one word per cycle.
+
+No clflush probes are sent: the accesses are reads of a structure the
+host-side GC code never updates during compaction (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.bitmap_math import streaming_live_words, words_for_bits
+from repro.core.units.base import ProcessingUnit
+from repro.units import WORD
+
+
+class BitmapCountUnit(ProcessingUnit):
+    """Executes ``live_words_in_range`` against the mark bitmaps."""
+
+    KIND = "bitmap_count"
+
+    def execute(self, start: float, bitmap_base: int, bitmap_bytes: int,
+                bit_offset: int, num_bits: int) -> float:
+        """Timing for one range count.
+
+        ``bitmap_base`` is the begin map's address, ``bitmap_bytes`` the
+        per-map size (so the end map's words sit at ``+ bitmap_bytes``),
+        ``bit_offset`` the range's first bit within the map.
+        """
+        ctx = self.context
+        if num_bits <= 0:
+            return start + ctx.unit_cycle_s
+        _, finish = ctx.translate(start, bitmap_base, self.cube)
+
+        words = words_for_bits(num_bits)
+        line = ctx.bitmap_cache.slice_for(self.cube).line_bytes \
+            if ctx.bitmap_cache.distributed \
+            else ctx.bitmap_cache.slices[0].line_bytes
+        byte_lo = bit_offset // 8
+        byte_hi = byte_lo + words * WORD
+        # Every distinct cache line of both maps is looked up once; the
+        # datapath consumes words as lines return, so completion is the
+        # slowest line plus the popcount pipeline drain.
+        last_line_done = finish
+        for map_base in (bitmap_base, bitmap_base + bitmap_bytes):
+            first_line = (map_base + byte_lo) // line
+            last_line = (map_base + byte_hi - 1) // line
+            for line_index in range(first_line, last_line + 1):
+                line_addr = line_index * line
+                owner = ctx.vm.cube_of(line_addr, ctx.pcid)
+                _, done = ctx.bitmap_cache.access(
+                    finish, line_addr, is_write=False,
+                    from_cube=self.cube, owner_cube=owner)
+                last_line_done = max(last_line_done, done)
+        pipeline = words * ctx.unit_cycle_s
+        return last_line_done + pipeline
+
+    # -- functional datapath (for verification) ---------------------------------
+
+    @staticmethod
+    def count(beg_words: Sequence[int], end_words: Sequence[int],
+              num_bits: int, inside_at_start: bool = False) -> int:
+        """The value the datapath returns (hardware algorithm)."""
+        return streaming_live_words(beg_words, end_words, num_bits,
+                                    inside_at_start)

@@ -1,0 +1,97 @@
+"""The Copy/Search unit (Sec. 4.2, Fig. 6a, Fig. 7).
+
+Both primitives are embarrassingly parallel streams.  As soon as a
+command packet arrives, the unit issues 256-byte read requests — one per
+cycle — for as long as the MAI accepts them; responses either turn into
+store requests (*Copy*) or feed the comparator (*Search*, which
+early-exits on the first non-clean block).  The unit is scheduled to the
+cube housing the source range, so most traffic rides the local TSVs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.units.base import ProcessingUnit
+from repro.units import HMC_MAX_REQUEST
+
+
+class CopySearchUnit(ProcessingUnit):
+    """Streams copies and card-table searches at HMC granularity."""
+
+    KIND = "copy_search"
+
+    def execute(self, start: float, primitive: str, src: int, dst: int,
+                size_bytes: int, found: bool = False) -> float:
+        if primitive == "copy":
+            return self._copy(start, src, dst, size_bytes)
+        if primitive == "search":
+            return self._search(start, src, size_bytes, found)
+        raise ValueError(f"unknown primitive {primitive!r}")
+
+    # -- Copy ---------------------------------------------------------------
+
+    def _copy(self, start: float, src: int, dst: int,
+              size_bytes: int) -> float:
+        ctx = self.context
+        chunk = ctx.config.charon.request_granularity
+        mlp = ctx.config.charon.mai_entries_per_cube
+        issue_rate = ctx.config.charon.unit_freq_hz
+        if size_bytes <= 0:
+            return start + ctx.unit_cycle_s
+
+        # Address translation: one TLB lookup per huge page crossed.
+        finish = start
+        for vaddr in (src, dst):
+            _, t_done = ctx.translate(start, vaddr, self.cube)
+            finish = max(finish, t_done)
+
+        # Read stream from the source, write stream to the destination.
+        # Stores issue as read responses return, so the write stream
+        # starts one access latency behind the reads (the event-driven
+        # model in core.units.event_model validates this offset); from
+        # there the two streams pipeline concurrently.
+        read_finish = finish
+        for run_start, run_len, cube in ctx.split_by_cube(src, size_bytes):
+            read_finish = max(read_finish, ctx.stream(
+                finish, self.cube, cube, run_len, chunk_bytes=chunk,
+                mlp=mlp, issue_rate=issue_rate))
+        first_response = finish + ctx.config.hmc.access_latency_s
+        write_finish = first_response
+        for run_start, run_len, cube in ctx.split_by_cube(dst, size_bytes):
+            write_finish = max(write_finish, ctx.stream(
+                first_response, self.cube, cube, run_len,
+                chunk_bytes=chunk, mlp=mlp, issue_rate=issue_rate))
+
+        requests = 2 * math.ceil(size_bytes / chunk)
+        ctx.probe_host(finish, requests)
+        # The unit is free to take the next command once its reads have
+        # drained; the writes complete fire-and-forget through the MAI.
+        self._release_at = read_finish
+        return max(read_finish, write_finish)
+
+    # -- Search --------------------------------------------------------------
+
+    def _search(self, start: float, range_start: int, size_bytes: int,
+                found: bool) -> float:
+        """Scan ``size_bytes`` of card table for a non-clean byte.
+
+        On a hit the unit stops at the matching block; we charge the
+        expected half of the range (the trace records whether the block
+        contained a dirty card).  The comparator checks 32 bytes per
+        cycle.
+        """
+        ctx = self.context
+        _, finish = ctx.translate(start, range_start, self.cube)
+        examined = max(32, size_bytes // 2 if found else size_bytes)
+        chunk = min(HMC_MAX_REQUEST, max(32, examined))
+        mlp = ctx.config.charon.mai_entries_per_cube
+        for run_start, run_len, cube in ctx.split_by_cube(
+                range_start, examined):
+            finish = max(finish, ctx.stream(
+                finish, self.cube, cube, run_len, chunk_bytes=chunk,
+                mlp=mlp, issue_rate=ctx.config.charon.unit_freq_hz))
+        compare_cycles = math.ceil(examined / 32)
+        finish += compare_cycles * ctx.unit_cycle_s
+        ctx.probe_host(finish, math.ceil(examined / chunk))
+        return finish

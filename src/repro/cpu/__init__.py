@@ -1,0 +1,17 @@
+"""Host-processor models.
+
+The host is the 8-core out-of-order Westmere-class machine of Table 2.
+GC primitives running on it are costed with a roofline-style model: a
+primitive's duration is the maximum of its compute time (instructions at
+the observed GC IPC, plus cache-hit service) and its memory time (the
+miss stream pushed through the attached memory system under the core's
+MLP limit).  This reproduces the two properties the paper leans on —
+bounded MLP from the small instruction window / MSHR file, and
+bandwidth saturation on DDR4.
+"""
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import CoreModel
+from repro.cpu.host import HostProcessor
+
+__all__ = ["SetAssociativeCache", "CoreModel", "HostProcessor"]

@@ -1,0 +1,55 @@
+"""Analytic out-of-order core model.
+
+A GC primitive on the host is characterised by an instruction count, a
+cache-hit count, and a miss stream; its duration is
+
+``max(compute time, memory time)``
+
+* compute time = instructions / (GC IPC x frequency) plus hit service,
+  with ~4 hits overlapping (load pipe depth);
+* memory time = the miss stream pushed through the memory system with
+  the core's MLP window.
+
+The MLP window is ``min(MSHRs, instruction-window slots available for
+loads)`` — the paper's central claim about why GC underperforms on
+general-purpose cores (Sec. 1, Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CostModelConfig, HostCoreConfig
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Per-core timing parameters derived from the host configuration."""
+
+    config: HostCoreConfig
+    costs: CostModelConfig
+
+    @property
+    def mlp(self) -> float:
+        """Outstanding-miss limit of one core.
+
+        Bounded by the line-fill buffers (MSHRs) and by how many loads
+        the 36-entry instruction window can expose: with roughly one
+        load per three GC instructions, the window holds ~12 loads.
+        """
+        window_loads = self.config.instruction_window / 3.0
+        return float(min(self.config.mshrs_per_core, window_loads))
+
+    def compute_seconds(self, instructions: float, cache_hits: float = 0.0
+                        ) -> float:
+        """Time to retire ``instructions`` with ``cache_hits`` hit stalls."""
+        retire = instructions / (self.config.gc_ipc * self.config.freq_hz)
+        # ~4 overlapping in-flight hits (load pipeline depth).
+        hit_service = cache_hits * self.costs.cache_hit_latency_s / 4.0
+        return retire + hit_service
+
+    def primitive_seconds(self, instructions: float, cache_hits: float,
+                          memory_seconds: float) -> float:
+        """Roofline combination of compute and memory time."""
+        return max(self.compute_seconds(instructions, cache_hits),
+                   memory_seconds)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Charon reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single handler while
+still being able to discriminate (for example an
+:class:`OutOfMemoryError` during a heap-sizing sweep is expected and is
+handled by retrying with a larger heap).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class HeapError(ReproError):
+    """Base class for managed-heap errors."""
+
+
+class OutOfMemoryError(HeapError):
+    """The managed heap could not satisfy an allocation.
+
+    Mirrors the JVM ``java.lang.OutOfMemoryError`` raised when even a full
+    collection cannot free enough space.  Workload drivers use this to find
+    the minimum viable heap size (Figure 2 methodology).
+    """
+
+
+class InvalidObjectError(HeapError):
+    """An address does not reference a well-formed heap object."""
+
+
+class ProtectionFault(ReproError):
+    """A memory access violated virtual-memory protection (wrong PCID or
+    an unmapped page)."""
+
+
+class PacketError(ReproError):
+    """An offload request/response packet failed validation."""
+
+
+class DeviceBusyError(ReproError):
+    """No processing unit could accept an offload request and the command
+    queue overflowed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (time reversal,
+    unhandled event type, deadlock)."""

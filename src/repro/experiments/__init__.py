@@ -1,0 +1,25 @@
+"""Experiment drivers: one entry point per results table and figure.
+
+Each ``figure*``/``table*`` function returns structured rows; the
+benchmark harness prints them via :mod:`repro.experiments.report` and
+EXPERIMENTS.md records how they compare to the paper.  Workload runs
+are expensive (they execute real collections), so
+:mod:`repro.experiments.runner` memoises traces per (workload, heap).
+"""
+
+from repro.experiments.runner import (clear_cache, collect_run,
+                                      find_min_heap, replay_platform,
+                                      workload_config)
+from repro.experiments import figures, tables
+from repro.experiments.report import render_table
+
+__all__ = [
+    "clear_cache",
+    "collect_run",
+    "find_min_heap",
+    "replay_platform",
+    "workload_config",
+    "figures",
+    "tables",
+    "render_table",
+]

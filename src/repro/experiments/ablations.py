@@ -1,0 +1,154 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+The paper motivates several micro-architectural decisions without
+sweeping them; these studies quantify each on the reproduced system:
+
+* **bitmap cache** (Sec. 4.5) — how much of the Bitmap Count and
+  marking speedup the 8 KB cache provides;
+* **Scan&Push placement** (Sec. 4.4) — central cube (the paper's
+  choice) vs. the scanned object's cube;
+* **unit count** (Sec. 4.6, "Scalability of Charon") — GC throughput
+  as units per cube scale;
+* **offload dispatch cost** (Sec. 4.1) — sensitivity of the overall
+  speedup to the host-side intrinsic overhead, which bounds how fine an
+  offload granularity can pay off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import replay_platform, workload_config
+from repro.gcalgo.trace import Primitive
+from repro.workloads.registry import WORKLOAD_ABBREV
+
+#: Default study workloads: one Bitmap-Count/Scan&Push-heavy graph
+#: workload and one Copy-heavy Spark workload.
+DEFAULT_WORKLOADS = ("graphchi-cc", "spark-bs")
+
+
+def _names(workloads: Optional[Iterable[str]]) -> List[str]:
+    return list(workloads) if workloads is not None \
+        else list(DEFAULT_WORKLOADS)
+
+
+def bitmap_cache_ablation(workloads: Optional[Iterable[str]] = None
+                          ) -> List[Dict[str, object]]:
+    """Charon with and without the bitmap cache."""
+    rows = []
+    for name in _names(workloads):
+        base = workload_config(name)
+        with_cache = replay_platform("charon", name, config=base)
+        without = replay_platform(
+            "charon", name, config=base.with_bitmap_cache(False))
+        bc_with = with_cache.primitive_seconds.get(
+            Primitive.BITMAP_COUNT, 0.0)
+        bc_without = without.primitive_seconds.get(
+            Primitive.BITMAP_COUNT, 0.0)
+        rows.append({
+            "workload": WORKLOAD_ABBREV[name],
+            "hit_rate_pct": round(
+                100 * (with_cache.bitmap_cache_hit_rate or 0.0), 1),
+            "bitmap_slowdown_without": round(
+                bc_without / bc_with, 2) if bc_with else None,
+            "gc_slowdown_without": round(
+                without.wall_seconds / with_cache.wall_seconds, 3),
+        })
+    return rows
+
+
+def scan_push_placement_ablation(
+        workloads: Optional[Iterable[str]] = None
+        ) -> List[Dict[str, object]]:
+    """Scan&Push at the central cube vs. at the object's cube."""
+    rows = []
+    for name in _names(workloads):
+        base = workload_config(name)
+        central = replay_platform("charon", name, config=base)
+        local = replay_platform(
+            "charon", name, config=base.with_scan_push_local(True))
+        sp_central = central.primitive_seconds.get(
+            Primitive.SCAN_PUSH, 0.0)
+        sp_local = local.primitive_seconds.get(Primitive.SCAN_PUSH, 0.0)
+        rows.append({
+            "workload": WORKLOAD_ABBREV[name],
+            "scan_push_central_ms": round(sp_central * 1e3, 3),
+            "scan_push_local_ms": round(sp_local * 1e3, 3),
+            "central_advantage": round(
+                sp_local / sp_central, 3) if sp_central else None,
+            "local_fraction_central": round(
+                100 * (central.local_fraction or 0), 1),
+            "local_fraction_local": round(
+                100 * (local.local_fraction or 0), 1),
+        })
+    return rows
+
+
+def unit_count_sweep(workloads: Optional[Iterable[str]] = None,
+                     factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0)
+                     ) -> List[Dict[str, object]]:
+    """GC speedup over cpu-ddr4 as the unit count scales."""
+    rows = []
+    for name in _names(workloads):
+        baseline = replay_platform("cpu-ddr4", name).wall_seconds
+        row: Dict[str, object] = {"workload": WORKLOAD_ABBREV[name]}
+        for factor in factors:
+            config = workload_config(name).scaled_charon_units(factor)
+            wall = replay_platform("charon", name,
+                                   config=config).wall_seconds
+            units = config.charon.copy_search_units \
+                + config.charon.bitmap_count_units \
+                + config.charon.scan_push_units
+            row[f"units_{units}"] = round(baseline / wall, 2)
+        rows.append(row)
+    return rows
+
+
+def topology_ablation(workloads: Optional[Iterable[str]] = None
+                      ) -> List[Dict[str, object]]:
+    """Star vs fully-connected inter-cube links (Sec. 4.6 future work).
+
+    Spoke-to-spoke traffic takes one hop instead of two and no longer
+    funnels through the central cube's links, which matters exactly as
+    much as the workload's remote fraction says it should.
+    """
+    rows = []
+    for name in _names(workloads):
+        base = workload_config(name)
+        star = replay_platform("charon", name, config=base)
+        full = replay_platform(
+            "charon", name,
+            config=base.with_topology("fully-connected"))
+        rows.append({
+            "workload": WORKLOAD_ABBREV[name],
+            "star_ms": round(star.wall_seconds * 1e3, 3),
+            "fully_connected_ms": round(full.wall_seconds * 1e3, 3),
+            "speedup": round(star.wall_seconds / full.wall_seconds, 3),
+            "remote_pct": round(
+                100 * (1 - (star.local_fraction or 1.0)), 1),
+        })
+    return rows
+
+
+def dispatch_overhead_sweep(
+        workloads: Optional[Iterable[str]] = None,
+        overheads_ns: Sequence[float] = (0.0, 20.0, 100.0, 500.0)
+        ) -> List[Dict[str, object]]:
+    """Sensitivity of the Charon speedup to the intrinsic's host cost.
+
+    The paper's fine-grained offload only works because dispatch is
+    cheap; this sweep shows where a heavier runtime interface (e.g. a
+    syscall) would erase the wins on small-object workloads.
+    """
+    rows = []
+    for name in _names(workloads):
+        baseline = replay_platform("cpu-ddr4", name).wall_seconds
+        row: Dict[str, object] = {"workload": WORKLOAD_ABBREV[name]}
+        for overhead in overheads_ns:
+            config = workload_config(name).with_dispatch_overhead(
+                overhead * 1e-9)
+            wall = replay_platform("charon", name,
+                                   config=config).wall_seconds
+            row[f"{overhead:g}ns"] = round(baseline / wall, 2)
+        rows.append(row)
+    return rows

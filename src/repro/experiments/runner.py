@@ -1,0 +1,115 @@
+"""Run workloads, cache their traces, and replay them on platforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import SystemConfig, default_config, scaled_heap_bytes
+from repro.errors import OutOfMemoryError
+from repro.heap.heap import JavaHeap
+from repro.platform import TraceReplayer, build_platform
+from repro.platform.timing import GCTimingResult
+from repro.workloads import run_workload
+from repro.workloads.base import workload_klasses
+from repro.workloads.mutator import WorkloadRun
+
+_RUN_CACHE: Dict[Tuple[str, int], WorkloadRun] = {}
+_REPLAY_CACHE: Dict[tuple, GCTimingResult] = {}
+
+
+def workload_config(name: str,
+                    heap_bytes: Optional[int] = None) -> SystemConfig:
+    """The Table 2 system configuration sized for ``name``'s heap."""
+    resolved = heap_bytes or scaled_heap_bytes(name)
+    return default_config().with_heap_bytes(resolved)
+
+
+def collect_run(name: str,
+                heap_bytes: Optional[int] = None) -> WorkloadRun:
+    """Run (or fetch the cached run of) a workload.
+
+    The functional execution is deterministic, so traces are safely
+    memoised per (workload, heap size).
+    """
+    resolved = heap_bytes or scaled_heap_bytes(name)
+    key = (name, resolved)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run_workload(name, heap_bytes=resolved)
+    return _RUN_CACHE[key]
+
+
+def clear_cache() -> None:
+    _RUN_CACHE.clear()
+    _REPLAY_CACHE.clear()
+
+
+def layout_heap(name: str,
+                heap_bytes: Optional[int] = None) -> JavaHeap:
+    """A heap with the same address layout the cached run used.
+
+    Platforms only need the layout/metadata addresses, which depend
+    solely on the heap configuration.
+    """
+    config = workload_config(name, heap_bytes)
+    return JavaHeap(config.heap, klasses=workload_klasses())
+
+
+def replay_platform(platform_name: str, name: str,
+                    heap_bytes: Optional[int] = None,
+                    config: Optional[SystemConfig] = None,
+                    threads: Optional[int] = None) -> GCTimingResult:
+    """Replay a workload's full GC history on one platform.
+
+    Results are memoised on the parameters that affect timing (platform,
+    heap, thread count, Charon organisation/unit counts).
+    """
+    run = collect_run(name, heap_bytes)
+    resolved_config = config or workload_config(name, heap_bytes)
+    charon = resolved_config.charon
+    key = (platform_name, name, resolved_config.heap.heap_bytes,
+           threads, resolved_config.gc_threads, charon.distributed,
+           charon.copy_search_units, charon.bitmap_count_units,
+           charon.scan_push_units, charon.bitmap_cache_enabled,
+           charon.scan_push_local, resolved_config.hmc.topology,
+           resolved_config.costs.charon_dispatch_overhead_s)
+    if key not in _REPLAY_CACHE:
+        heap = JavaHeap(resolved_config.heap,
+                        klasses=workload_klasses())
+        platform = build_platform(platform_name, resolved_config, heap)
+        replayer = TraceReplayer(platform, threads=threads)
+        _REPLAY_CACHE[key] = replayer.replay_all(run.traces)
+    return _REPLAY_CACHE[key]
+
+
+def find_min_heap(name: str, granularity_fraction: float = 0.125,
+                  lower_fraction: float = 0.25) -> int:
+    """Smallest heap (to a granularity) at which the workload survives.
+
+    The Fig. 2 methodology: shrink the heap until the run dies with an
+    out-of-memory error, then report the smallest surviving size.
+    Searches between ``lower_fraction`` and 1.0 of the Table 3 heap by
+    bisection at ``granularity_fraction`` steps.
+    """
+    default_bytes = scaled_heap_bytes(name)
+    granularity = max(1 << 20, int(default_bytes * granularity_fraction))
+
+    def survives(heap_bytes: int) -> bool:
+        try:
+            collect_run(name, heap_bytes=heap_bytes)
+            return True
+        except OutOfMemoryError:
+            return False
+
+    low = int(default_bytes * lower_fraction) // granularity
+    high = default_bytes // granularity
+    if not survives(high * granularity):
+        raise OutOfMemoryError(
+            f"{name} does not survive its Table 3 heap; "
+            "workload parameters are inconsistent")
+    while low < high:
+        mid = (low + high) // 2
+        if survives(mid * granularity):
+            high = mid
+        else:
+            low = mid + 1
+    return high * granularity

@@ -1,0 +1,345 @@
+"""MajorGC: mark-compact collection (Fig. 3b).
+
+Phases, following HotSpot's PSParallelCompact as the paper describes:
+
+* **Marking** — pop objects from the stack; unmarked ones get their
+  header mark bit set, their begin/end bitmap bits recorded (old
+  generation), and their references *Scan&Push*-ed (``follow_contents``
+  in Fig. 11).
+* **Summary** — per-region live-word totals, accumulated during marking
+  (the paper measures this phase below 0.03% of MajorGC and excludes it
+  from offloading; we charge it as residual work).
+* **Adjust pointers** — every reference to an old-generation object is
+  rewritten to the referee's post-compaction address, computed as
+  ``region destination + live_words_in_range(region start, referee)``.
+  Each such computation is a *Bitmap Count* invocation — this is where
+  the primitive's call volume comes from.
+* **Compact** — live old objects slide left to their destinations
+  (*Copy*), leaving the old generation densely packed.
+
+Like PSParallelCompact, the collector keeps a **dense prefix**: the
+bottom run of old-generation regions whose live density is already
+high never moves.  Objects inside it keep their addresses (references
+to them need no Bitmap Count), and the few dead gaps are overwritten
+with filler objects (HotSpot's deadwood), keeping the space parseable.
+This is what keeps Bitmap Count and Copy from dominating MajorGC on
+pointer-dense heaps — exactly the balance Fig. 4(b) shows.
+
+The young generation is marked and pointer-adjusted but not moved (the
+next scavenge evacuates it), which matches the division of labour
+between ParallelScavenge's two collectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.gcalgo.stack import ObjectStack
+from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
+                               RESIDUAL_COSTS, chunk_refs)
+from repro.heap.heap import JavaHeap
+from repro.heap.object_model import ObjectView
+from repro.units import CACHE_LINE, WORD
+
+#: Compaction region size: 512 heap words, HotSpot's RegionSize.
+REGION_WORDS = 512
+REGION_BYTES = REGION_WORDS * WORD
+
+#: A region at least this live joins the dense prefix (HotSpot chooses
+#: the prefix with a deadwood cost model; a density cut-off captures
+#: its effect).
+DENSE_PREFIX_DENSITY = 0.85
+
+
+class MajorGC:
+    """One full mark-compact collection over the heap."""
+
+    def __init__(self, heap: JavaHeap) -> None:
+        self.heap = heap
+        #: (region_start, last queried addr) — the software query cache.
+        self._last_query: Tuple[int, int] = None
+
+    def collect(self) -> GCTrace:
+        heap = self.heap
+        trace = GCTrace("major", heap_bytes=heap.config.heap_bytes)
+        trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
+                       96 * 1024)
+        heap.bitmaps.clear()
+        old_used_before = heap.layout.old.used
+
+        live_old, live_young = self._mark(trace)
+        region_live = self._region_live(trace, live_old)
+        prefix_end = self._effective_prefix_end(
+            live_old, self._dense_prefix_end(region_live))
+        region_dest = self._summarize(trace, region_live, prefix_end)
+        self._adjust_pointers(trace, live_old, live_young, region_dest,
+                              prefix_end)
+        self._compact(trace, live_old, region_dest, prefix_end)
+        self._unmark_young(live_young)
+        self._rebuild_cards(trace)
+
+        trace.bytes_freed = old_used_before - heap.layout.old.used
+        return trace
+
+    # -- marking ------------------------------------------------------------
+
+    def _mark(self, trace: GCTrace
+              ) -> Tuple[List[ObjectView], List[ObjectView]]:
+        heap = self.heap
+        layout = heap.layout
+        stack: ObjectStack[int] = ObjectStack()
+        marked = set()
+        live_old: List[ObjectView] = []
+        live_young: List[ObjectView] = []
+
+        for addr in heap.roots:
+            trace.residual("mark", RESIDUAL_COSTS["root"], CACHE_LINE)
+            if addr and addr not in marked:
+                marked.add(addr)
+                stack.push(addr)
+
+        while stack:
+            addr = stack.pop()
+            trace.residual("mark", RESIDUAL_COSTS["pop"])
+            view = heap.object_at(addr)
+            trace.objects_visited += 1
+            heap.set_mark_word(addr, heap.mark_word(addr).marked())
+            if layout.in_old(addr):
+                heap.bitmaps.mark_object(addr, view.size_bytes)
+                live_old.append(view)
+            else:
+                live_young.append(view)
+            slots = view.reference_slots()
+            pushes = 0
+            for slot in slots:
+                target = heap.load_ref(slot)
+                trace.residual("mark", RESIDUAL_COSTS["check_mark"])
+                if target and target not in marked:
+                    marked.add(target)  # mark_obj: atomic RMW in HotSpot
+                    stack.push(target)
+                    pushes += 1
+            if slots:
+                for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                    trace.scan_push("mark", addr, refs, chunk_pushes)
+            else:
+                trace.residual("mark", RESIDUAL_COSTS["scan_trivial"])
+
+        live_old.sort(key=lambda v: v.addr)
+        return live_old, live_young
+
+    # -- summary ---------------------------------------------------------------
+
+    def _region_live(self, trace: GCTrace,
+                     live_old: List[ObjectView]) -> List[int]:
+        """Live words per old-generation region (accumulated during
+        marking in HotSpot; charged as residual summary work)."""
+        heap = self.heap
+        old = heap.layout.old
+        n_regions = -(-old.capacity // REGION_BYTES)
+        region_live = [0] * n_regions
+        for view in live_old:
+            start = view.addr
+            remaining = view.size_bytes
+            while remaining > 0:
+                region = (start - old.start) // REGION_BYTES
+                region_end = old.start + (region + 1) * REGION_BYTES
+                span = min(remaining, region_end - start)
+                region_live[region] += span // WORD
+                start += span
+                remaining -= span
+            trace.residual("summary", RESIDUAL_COSTS["summary_region"])
+        return region_live
+
+    def _dense_prefix_end(self, region_live: List[int]) -> int:
+        """Address where compaction starts moving objects.
+
+        Regions at the bottom of the old generation whose live density
+        is at least :data:`DENSE_PREFIX_DENSITY` stay in place.
+        """
+        old = self.heap.layout.old
+        prefix_regions = 0
+        for live_words in region_live:
+            region_start = old.start + prefix_regions * REGION_BYTES
+            if region_start >= old.top:
+                break
+            # The last (partially used) region is judged against its
+            # used portion, not the full region size.
+            used_words = min(REGION_WORDS,
+                             (old.top - region_start) // WORD)
+            if live_words < used_words * DENSE_PREFIX_DENSITY:
+                break
+            prefix_regions += 1
+        return old.start + prefix_regions * REGION_BYTES
+
+    def _effective_prefix_end(self, live_old: List[ObjectView],
+                              region_prefix_end: int) -> int:
+        """Snap the region-granular prefix to an object boundary.
+
+        The prefix ends exactly at the end of its last live object: a
+        live object spanning the region boundary stays in place (and
+        extends the prefix), while dead space at the prefix tail is
+        handed to the compacted area, where moved objects overwrite it.
+        """
+        prefix_end = self.heap.layout.old.start
+        for view in live_old:
+            if view.addr >= region_prefix_end:
+                break
+            prefix_end = max(prefix_end, view.end_addr)
+        return prefix_end
+
+    def _summarize(self, trace: GCTrace, region_live: List[int],
+                   prefix_end: int) -> Dict[int, int]:
+        """Destination word offsets (from old start) per moved region.
+
+        The first moved object lands at ``prefix_end``.  The region
+        containing ``prefix_end`` may hold live words *before* the
+        boundary (prefix objects); its destination subtracts them so
+        ``dest + live_words_in_range(region start, addr)`` stays exact.
+        """
+        heap = self.heap
+        old = heap.layout.old
+        first_moved = (prefix_end - old.start) // REGION_BYTES
+        dest: Dict[int, int] = {}
+        prefix_words = (prefix_end - old.start) // WORD
+        cumulative = prefix_words
+        for region in range(len(region_live)):
+            region_start = old.start + region * REGION_BYTES
+            if region < first_moved:
+                dest[region] = region * REGION_WORDS
+                continue
+            if region == first_moved and prefix_end > region_start:
+                pre = heap.bitmaps.live_words_in_range_fast(
+                    region_start, prefix_end)
+                dest[region] = cumulative - pre
+                cumulative = dest[region] + region_live[region]
+            else:
+                dest[region] = cumulative
+                cumulative += region_live[region]
+            trace.residual("summary", RESIDUAL_COSTS["summary_region"])
+        return dest
+
+    # -- pointer adjustment -------------------------------------------------------
+
+    def _new_address(self, trace: GCTrace, phase: str,
+                     region_dest: Dict[int, int], addr: int,
+                     prefix_end: int) -> int:
+        """Post-compaction address of old-gen object ``addr``.
+
+        Dense-prefix objects do not move — the check is a compare, no
+        bitmap query.  For moved objects this is one Bitmap Count
+        invocation: live words in ``[region start, addr)`` (the paper's
+        ``live_words_in_range``).  The software baseline's per-thread
+        query cache is modelled: a query extending the immediately
+        preceding one within the same region only walks the delta bits.
+        """
+        heap = self.heap
+        old = heap.layout.old
+        if addr < prefix_end:
+            trace.residual(phase, RESIDUAL_COSTS["check_mark"])
+            return addr
+        region = (addr - old.start) // REGION_BYTES
+        region_start = old.start + region * REGION_BYTES
+        words = heap.bitmaps.live_words_in_range_fast(region_start, addr)
+        bits = (addr - region_start) // WORD
+        cached = None
+        last = self._last_query
+        if last is not None and last[0] == region_start \
+                and last[1] <= addr:
+            cached = (addr - last[1]) // WORD
+        self._last_query = (region_start, addr)
+        trace.bitmap_count(phase, region_start, bits=bits,
+                           bits_cached=cached)
+        return old.start + (region_dest[region] + words) * WORD
+
+    def _adjust_pointers(self, trace: GCTrace, live_old: List[ObjectView],
+                         live_young: List[ObjectView],
+                         region_dest: Dict[int, int],
+                         prefix_end: int) -> None:
+        heap = self.heap
+        layout = heap.layout
+        # Roots first.
+        for index, addr in enumerate(heap.roots):
+            trace.residual("adjust", RESIDUAL_COSTS["forward_update"])
+            if addr and layout.in_old(addr):
+                heap.roots[index] = self._new_address(
+                    trace, "adjust", region_dest, addr, prefix_end)
+        # Then every reference slot of every live object.
+        for view in self._all_live(live_old, live_young):
+            for slot in view.reference_slots():
+                target = heap.load_ref(slot)
+                trace.residual("adjust", RESIDUAL_COSTS["check_mark"])
+                if target and layout.in_old(target):
+                    new_target = self._new_address(
+                        trace, "adjust", region_dest, target, prefix_end)
+                    if new_target != target:
+                        heap.write_u64(slot, new_target)
+                        trace.residual("adjust",
+                                       RESIDUAL_COSTS["forward_update"])
+
+    @staticmethod
+    def _all_live(live_old: List[ObjectView],
+                  live_young: List[ObjectView]):
+        yield from live_old
+        yield from live_young
+
+    # -- compaction -------------------------------------------------------------------
+
+    def _compact(self, trace: GCTrace, live_old: List[ObjectView],
+                 region_dest: Dict[int, int], prefix_end: int) -> None:
+        heap = self.heap
+        old = heap.layout.old
+        # Dense prefix: nothing moves; dead gaps between its live
+        # objects become deadwood fillers so the space stays parseable
+        # (the prefix ends exactly at its last live object).
+        cursor = old.start
+        new_top = prefix_end
+        for view in live_old:
+            if view.addr >= prefix_end:
+                break
+            if view.addr > cursor:
+                heap.fill_dead_range(cursor, view.addr)
+                trace.residual("compact", RESIDUAL_COSTS["sweep_step"])
+            heap.set_mark_word(view.addr,
+                               heap.mark_word(view.addr).unmarked())
+            cursor = max(cursor, view.end_addr)
+        # Moved objects slide left to just after the prefix.
+        for view in live_old:
+            if view.addr < prefix_end:
+                continue
+            dst = self._new_address(trace, "compact", region_dest,
+                                    view.addr, prefix_end)
+            size = view.size_bytes
+            if dst != view.addr:
+                heap.move_bytes(view.addr, dst, size)
+                trace.copy("compact", view.addr, dst, size)
+                trace.objects_copied += 1
+                trace.bytes_copied += size
+            # Clear the mark bit in the (possibly moved) header.
+            heap.set_mark_word(dst, heap.mark_word(dst).unmarked())
+            new_top = dst + size
+        old.top = new_top
+        heap.bitmaps.clear()
+
+    def _unmark_young(self, live_young: List[ObjectView]) -> None:
+        for view in live_young:
+            mark = self.heap.mark_word(view.addr)
+            self.heap.set_mark_word(view.addr, mark.unmarked())
+
+    # -- card table reconstruction -------------------------------------------------------
+
+    def _rebuild_cards(self, trace: GCTrace) -> None:
+        """Re-dirty cards of old objects holding young references.
+
+        Compaction moved old objects, so the pre-GC card state is
+        meaningless; HotSpot similarly re-dirties during the move.
+        """
+        heap = self.heap
+        heap.card_table.clear()
+        for view in heap.iterate_space(heap.layout.old):
+            trace.residual("card-rebuild", RESIDUAL_COSTS["card_clean"])
+            if heap.is_filler(view):
+                continue
+            for slot in view.reference_slots():
+                target = heap.load_ref(slot)
+                if target and heap.layout.in_young(target):
+                    heap.card_table.dirty(slot)

@@ -1,0 +1,106 @@
+"""A CMS-like mark-sweep old-generation collector (no compaction).
+
+Table 1 of the paper classifies Charon's primitives by collector:
+Concurrent-Mark-Sweep uses Copy/Search (in its young-generation
+scavenges) and Scan&Push (marking), but *not* Bitmap Count, because it
+never compacts.  This collector exists to demonstrate that applicability
+concretely: its traces contain Scan&Push events and residual sweep work
+only, and the young generation keeps using :class:`MinorGC` unchanged.
+
+Dead ranges are overwritten with filler objects, which keeps the old
+space parseable and doubles as the free list (``sweep`` returns the
+reclaimed chunks).  We model the stop-the-world analogue of CMS's
+mark/sweep cycle; the concurrency-specific barrier overheads the paper
+discusses in Sec. 4.6 are out of scope, as they are for Charon itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gcalgo.stack import ObjectStack
+from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
+                               RESIDUAL_COSTS, chunk_refs)
+from repro.heap.heap import JavaHeap
+from repro.units import CACHE_LINE
+
+
+class MarkSweepGC:
+    """Stop-the-world mark-sweep over the old generation."""
+
+    def __init__(self, heap: JavaHeap) -> None:
+        self.heap = heap
+        #: reclaimed (addr, size) chunks from the last sweep
+        self.free_list: List[Tuple[int, int]] = []
+
+    def collect(self) -> GCTrace:
+        trace = GCTrace("sweep", heap_bytes=self.heap.config.heap_bytes)
+        trace.residual("setup", FIXED_GC_INSTRUCTIONS["sweep"],
+                       64 * 1024)
+        marked = self._mark(trace)
+        self._sweep(trace, marked)
+        return trace
+
+    def _mark(self, trace: GCTrace) -> set:
+        heap = self.heap
+        stack: ObjectStack[int] = ObjectStack()
+        marked = set()
+        for addr in heap.roots:
+            trace.residual("mark", RESIDUAL_COSTS["root"], CACHE_LINE)
+            if addr and addr not in marked:
+                marked.add(addr)
+                stack.push(addr)
+        while stack:
+            addr = stack.pop()
+            trace.residual("mark", RESIDUAL_COSTS["pop"])
+            view = heap.object_at(addr)
+            trace.objects_visited += 1
+            slots = view.reference_slots()
+            pushes = 0
+            for slot in slots:
+                target = heap.load_ref(slot)
+                trace.residual("mark", RESIDUAL_COSTS["check_mark"])
+                if target and target not in marked:
+                    marked.add(target)
+                    stack.push(target)
+                    pushes += 1
+            if slots:
+                for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                    trace.scan_push("mark", addr, refs, chunk_pushes)
+            else:
+                trace.residual("mark", RESIDUAL_COSTS["scan_trivial"])
+        return marked
+
+    def _sweep(self, trace: GCTrace, marked: set) -> None:
+        """Coalesce dead old-generation ranges into filler chunks."""
+        heap = self.heap
+        old = heap.layout.old
+        self.free_list = []
+        dead_start = None
+        cursor = old.start
+        while cursor < old.top:
+            view = heap.object_at(cursor)
+            trace.residual("sweep", RESIDUAL_COSTS["sweep_step"],
+                           CACHE_LINE)
+            end = view.end_addr
+            is_dead = heap.is_filler(view) or view.addr not in marked
+            if is_dead:
+                if dead_start is None:
+                    dead_start = view.addr
+            else:
+                if dead_start is not None:
+                    self._reclaim(trace, dead_start, view.addr)
+                    dead_start = None
+            cursor = end
+        if dead_start is not None:
+            self._reclaim(trace, dead_start, old.top)
+
+    def _reclaim(self, trace: GCTrace, start: int, end: int) -> None:
+        size = end - start
+        self.heap.fill_dead_range(start, end)
+        self.free_list.append((start, size))
+        trace.bytes_freed += size
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self.free_list)

@@ -1,0 +1,208 @@
+"""MinorGC: the ParallelScavenge copying collection (Fig. 3a).
+
+Operation flow, exactly as the paper describes:
+
+1. push the root set into the object stack;
+2. *Search* the card table for dirty cards and push the old-generation
+   slots that may reference young objects;
+3. drain the stack: *Pop* a slot, check the referee's mark word; if not
+   yet forwarded, *Copy* it to the To survivor space (or promote it to
+   Old when aged enough or when To overflows), install a forwarding
+   pointer, and *Scan&Push* the copy's references;
+4. clean Eden and From, then swap the survivor semispaces.
+
+The collector performs these steps functionally on the real heap while
+recording Search / Copy / Scan&Push events and residual work into a
+:class:`~repro.gcalgo.trace.GCTrace`.
+"""
+
+from __future__ import annotations
+
+
+from repro.errors import OutOfMemoryError
+from repro.gcalgo.stack import ObjectStack
+from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
+                                RESIDUAL_COSTS, chunk_refs)
+from repro.heap.heap import JavaHeap
+from repro.heap.object_model import MarkWord
+from repro.units import CACHE_LINE
+
+
+class MinorGC:
+    """One-shot scavenger; construct per heap and call :meth:`collect`."""
+
+    def __init__(self, heap: JavaHeap,
+                 tenuring_threshold: int = None) -> None:
+        self.heap = heap
+        self.tenuring_threshold = (
+            heap.config.tenuring_threshold if tenuring_threshold is None
+            else tenuring_threshold)
+
+    # -- preconditions ----------------------------------------------------
+
+    def promotion_safe(self) -> bool:
+        """True when Old can absorb a worst-case full promotion.
+
+        ParallelScavenge performs the same check and falls back to a
+        full collection when it fails, so a scavenge never dies halfway.
+        """
+        layout = self.heap.layout
+        worst_case = layout.eden.used + layout.survivor_from.used
+        return layout.old.free >= worst_case
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> GCTrace:
+        """Run the scavenge; returns the primitive trace."""
+        if not self.promotion_safe():
+            raise OutOfMemoryError(
+                "scavenge refused: old generation cannot guarantee "
+                "promotion; run a MajorGC first")
+        heap = self.heap
+        layout = heap.layout
+        trace = GCTrace("minor", heap_bytes=heap.config.heap_bytes)
+        stack: ObjectStack[int] = ObjectStack()
+        # Fixed collection overheads: VM-op setup, thread-stack roots,
+        # termination protocol, policy updates (the Fig. 4 "other").
+        trace.residual("setup", FIXED_GC_INSTRUCTIONS["minor"],
+                       64 * 1024)
+
+        # Step 1: roots.  Root slot i is encoded as -(i + 1); heap slots
+        # are their (positive) addresses.
+        for index in range(len(heap.roots)):
+            stack.push(-(index + 1))
+            trace.residual("root", RESIDUAL_COSTS["root"], CACHE_LINE)
+
+        # Step 2: Search the card table, then collect old slots on dirty
+        # cards that hold young references.
+        self._card_search(trace, stack)
+
+        # Step 3: drain.
+        eden, from_space = layout.eden, layout.survivor_from
+        while stack:
+            slot = stack.pop()
+            trace.residual("drain", RESIDUAL_COSTS["pop"])
+            ref = self._read_slot(slot)
+            if ref == 0:
+                continue
+            if not (eden.contains(ref) or from_space.contains(ref)):
+                continue  # null, old, or already-evacuated To-space object
+            mark = heap.mark_word(ref)
+            trace.residual("drain", RESIDUAL_COSTS["check_mark"],
+                           CACHE_LINE)
+            if mark.is_forwarded:
+                new_addr = mark.forwarding_address
+            else:
+                new_addr = self._evacuate(ref, mark, trace, stack)
+                trace.objects_visited += 1
+            self._write_slot(slot, new_addr)
+            trace.residual("drain", RESIDUAL_COSTS["forward_update"])
+
+        # Step 4: clean up and swap semispaces (Fig. 1).
+        freed = eden.used + from_space.used - trace.bytes_copied
+        trace.bytes_freed = max(0, freed)
+        eden.reset()
+        from_space.reset()
+        layout.swap_survivors()
+        return trace
+
+    # -- internals ------------------------------------------------------------
+
+    def _card_search(self, trace: GCTrace, stack: ObjectStack) -> None:
+        heap = self.heap
+        card_table = heap.card_table
+        for table_addr, n_cards, found in card_table.search_blocks():
+            trace.search("card-search", table_addr, n_cards, found)
+        dirty = set(int(i) for i in card_table.dirty_card_indices())
+        card_table.clear()
+        if not dirty:
+            return
+        # Find the objects on dirty cards.  HotSpot resolves each dirty
+        # card to its first object through the block-offset table; we
+        # charge that lookup per dirty card, while (functionally) using
+        # a parseable-space walk to locate the same objects.
+        for _ in dirty:
+            trace.residual("card-scan", RESIDUAL_COSTS["card_lookup"],
+                           CACHE_LINE)
+        for view in heap.iterate_space(heap.layout.old):
+            if heap.is_filler(view):
+                continue
+            first = card_table.card_index(view.addr)
+            last = card_table.card_index(view.end_addr - 1)
+            if not any(card in dirty for card in range(first, last + 1)):
+                continue
+            slots = view.reference_slots()
+            pushes = 0
+            for slot in slots:
+                target = heap.load_ref(slot)
+                if target and heap.layout.in_young(target):
+                    stack.push(slot)
+                    pushes += 1
+            if slots:
+                for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                    trace.scan_push("card-scan", view.addr, refs,
+                                    chunk_pushes)
+            else:
+                trace.residual("card-scan",
+                               RESIDUAL_COSTS["scan_trivial"])
+
+    def _read_slot(self, slot: int) -> int:
+        if slot < 0:
+            return self.heap.roots[-slot - 1]
+        return self.heap.load_ref(slot)
+
+    def _write_slot(self, slot: int, value: int) -> None:
+        if slot < 0:
+            self.heap.roots[-slot - 1] = value
+        else:
+            self.heap.store_ref(slot, value)
+
+    def _evacuate(self, addr: int, mark: MarkWord, trace: GCTrace,
+                  stack: ObjectStack) -> int:
+        """Copy ``addr`` to To (or promote to Old); returns the new address."""
+        heap = self.heap
+        layout = heap.layout
+        view = heap.object_at(addr)
+        size = view.size_bytes
+        age = min(mark.age + 1, 15)
+        promote = age >= self.tenuring_threshold
+        if not promote and not layout.survivor_to.can_allocate(size):
+            promote = True  # survivor overflow promotes early
+        if promote:
+            dst = layout.old.allocate(size)
+            new_mark = MarkWord.fresh()
+            trace.objects_promoted += 1
+        else:
+            dst = layout.survivor_to.allocate(size)
+            new_mark = MarkWord.fresh().with_age(age)
+        trace.residual("drain", RESIDUAL_COSTS["allocate"])
+
+        heap.copy_bytes(addr, dst, size)
+        trace.copy("evacuate", addr, dst, size)
+        trace.objects_copied += 1
+        trace.bytes_copied += size
+        heap.set_mark_word(dst, new_mark)
+        heap.set_mark_word(addr, mark.forwarded_to(dst))
+
+        # Scan&Push the copy's references (push_contents, Fig. 11).
+        # Reference-free klasses (type arrays) have a no-op iterate
+        # strategy and are never offloaded; large object arrays are
+        # scanned in bounded chunks as HotSpot does.
+        new_view = heap.object_at(dst)
+        pushes = 0
+        slots = new_view.reference_slots()
+        for slot in slots:
+            target = heap.load_ref(slot)
+            if target and layout.in_young(target):
+                stack.push(slot)
+                pushes += 1
+                trace.residual("drain", RESIDUAL_COSTS["push"])
+        if slots:
+            for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                trace.scan_push("evacuate", dst, refs, chunk_pushes)
+        else:
+            trace.residual("drain", RESIDUAL_COSTS["scan_trivial"])
+        # A promoted object whose young references have not been updated
+        # yet keeps its card dirty through the write barrier when the
+        # drain updates each pushed slot.
+        return dst

@@ -1,0 +1,107 @@
+"""Trace (de)serialization.
+
+Trace-driven simulators live and die by being able to capture a trace
+once and replay it many times; this module round-trips
+:class:`~repro.gcalgo.trace.GCTrace` objects through a compact JSON
+format.  Events serialize positionally (the hot field set), residuals
+and summaries as small maps.  The format is versioned so stored traces
+fail loudly rather than silently misreplay after a schema change.
+
+::
+
+    from repro.gcalgo.trace_io import save_traces, load_traces
+    save_traces(run.traces, "spark-bs.gctrace.json")
+    traces = load_traces("spark-bs.gctrace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import ConfigError
+from repro.gcalgo.trace import GCTrace, Primitive, ResidualWork, TraceEvent
+
+FORMAT_VERSION = 1
+
+#: positional event encoding:
+#: [primitive, phase, src, dst, size, refs, pushes, bits, bits_cached,
+#:  found]
+_EVENT_FIELDS = ("src", "dst", "size_bytes", "refs", "pushes", "bits")
+
+
+def trace_to_dict(trace: GCTrace) -> dict:
+    """One trace as a JSON-ready dict."""
+    events = []
+    for event in trace.events:
+        row = [event.primitive.value, event.phase]
+        row.extend(getattr(event, name) for name in _EVENT_FIELDS)
+        row.append(event.bits_cached)
+        row.append(1 if event.found else 0)
+        events.append(row)
+    return {
+        "kind": trace.kind,
+        "heap_bytes": trace.heap_bytes,
+        "events": events,
+        "residuals": {
+            phase: [work.instructions, work.bytes_accessed]
+            for phase, work in trace.residuals.items()
+        },
+        "stats": {
+            "objects_visited": trace.objects_visited,
+            "objects_copied": trace.objects_copied,
+            "bytes_copied": trace.bytes_copied,
+            "objects_promoted": trace.objects_promoted,
+            "bytes_freed": trace.bytes_freed,
+        },
+    }
+
+
+def trace_from_dict(payload: dict) -> GCTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    trace = GCTrace(payload["kind"],
+                    heap_bytes=payload.get("heap_bytes", 0))
+    for row in payload["events"]:
+        primitive = Primitive(row[0])
+        values = dict(zip(_EVENT_FIELDS, row[2:2 + len(_EVENT_FIELDS)]))
+        trace.events.append(TraceEvent(
+            primitive=primitive, phase=row[1],
+            bits_cached=row[2 + len(_EVENT_FIELDS)],
+            found=bool(row[3 + len(_EVENT_FIELDS)]), **values))
+    for phase, (instructions, bytes_accessed) in \
+            payload.get("residuals", {}).items():
+        trace.residuals[phase] = ResidualWork(
+            instructions=instructions, bytes_accessed=bytes_accessed)
+    stats = payload.get("stats", {})
+    trace.objects_visited = stats.get("objects_visited", 0)
+    trace.objects_copied = stats.get("objects_copied", 0)
+    trace.bytes_copied = stats.get("bytes_copied", 0)
+    trace.objects_promoted = stats.get("objects_promoted", 0)
+    trace.bytes_freed = stats.get("bytes_freed", 0)
+    return trace
+
+
+def save_traces(traces: Iterable[GCTrace],
+                path: Union[str, Path]) -> int:
+    """Write a run's traces to ``path``; returns the event total."""
+    traces = list(traces)
+    document = {
+        "format": "repro-gctrace",
+        "version": FORMAT_VERSION,
+        "traces": [trace_to_dict(trace) for trace in traces],
+    }
+    Path(path).write_text(json.dumps(document, separators=(",", ":")))
+    return sum(len(trace.events) for trace in traces)
+
+
+def load_traces(path: Union[str, Path]) -> List[GCTrace]:
+    """Read traces written by :func:`save_traces`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != "repro-gctrace":
+        raise ConfigError(f"{path} is not a gctrace file")
+    if document.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"{path} has trace format version "
+            f"{document.get('version')}, expected {FORMAT_VERSION}")
+    return [trace_from_dict(payload) for payload in document["traces"]]

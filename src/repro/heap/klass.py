@@ -1,0 +1,181 @@
+"""Class metadata (HotSpot "klass") descriptors.
+
+HotSpot has 15 klass metadata kinds, each with its own object-iteration
+strategy (Sec. 4.4).  Like Charon, we implement full iteration for the
+dominant data kinds — ``instanceKlass``, ``objArrayKlass``,
+``typeArrayKlass`` — and give the remaining metadata kinds an
+instance-like layout, which is how they behave for GC purposes (a fixed
+set of reference slots at known offsets).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.units import WORD
+
+#: Object header: 8-byte mark word + 8-byte klass pointer.
+HEADER_BYTES = 16
+#: Arrays carry an extra 8-byte length slot after the header.
+ARRAY_LENGTH_OFFSET = 16
+ARRAY_ELEMENTS_OFFSET = 24
+
+
+class KlassKind(enum.Enum):
+    """The 15 klass metadata kinds of OpenJDK 7 HotSpot."""
+
+    INSTANCE = "instanceKlass"
+    INSTANCE_REF = "instanceRefKlass"
+    INSTANCE_CLASS_LOADER = "instanceClassLoaderKlass"
+    INSTANCE_MIRROR = "instanceMirrorKlass"
+    OBJ_ARRAY = "objArrayKlass"
+    TYPE_ARRAY = "typeArrayKlass"
+    METHOD = "methodKlass"
+    CONST_METHOD = "constMethodKlass"
+    METHOD_DATA = "methodDataKlass"
+    CONSTANT_POOL = "constantPoolKlass"
+    CONSTANT_POOL_CACHE = "constantPoolCacheKlass"
+    KLASS = "klassKlass"
+    INSTANCE_KLASS_KLASS = "instanceKlassKlass"
+    OBJ_ARRAY_KLASS_KLASS = "objArrayKlassKlass"
+    TYPE_ARRAY_KLASS_KLASS = "typeArrayKlassKlass"
+
+    @property
+    def is_array(self) -> bool:
+        return self in (KlassKind.OBJ_ARRAY, KlassKind.TYPE_ARRAY)
+
+    @property
+    def dominant(self) -> bool:
+        """The "data class types" Charon's Scan&Push unit handles natively."""
+        return self in (KlassKind.INSTANCE, KlassKind.OBJ_ARRAY,
+                        KlassKind.TYPE_ARRAY)
+
+
+@dataclass(frozen=True)
+class KlassDescriptor:
+    """Layout description for one class.
+
+    For instance-like kinds, ``field_words`` is the number of 8-byte
+    field slots after the header and ``ref_offsets`` lists the byte
+    offsets (from the object start) of the reference-typed slots.  For
+    arrays the element layout is implied by the kind.
+    """
+
+    klass_id: int
+    name: str
+    kind: KlassKind
+    field_words: int = 0
+    ref_offsets: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.klass_id <= 0:
+            raise ConfigError("klass ids start at 1 (0 means free space)")
+        if self.kind.is_array and self.field_words:
+            raise ConfigError("array klasses have no fixed fields")
+        for offset in self.ref_offsets:
+            if offset < HEADER_BYTES or offset % WORD:
+                raise ConfigError(
+                    f"ref offset {offset} invalid for {self.name}")
+            if offset >= HEADER_BYTES + self.field_words * WORD:
+                raise ConfigError(
+                    f"ref offset {offset} beyond fields of {self.name}")
+
+    def instance_bytes(self, length: Optional[int] = None) -> int:
+        """Total allocation size for an object of this klass.
+
+        ``length`` is the element count (obj arrays) or payload byte
+        count (type arrays); instance kinds ignore it.
+        """
+        if self.kind is KlassKind.OBJ_ARRAY:
+            if length is None:
+                raise ConfigError("obj array needs a length")
+            return ARRAY_ELEMENTS_OFFSET + length * WORD
+        if self.kind is KlassKind.TYPE_ARRAY:
+            if length is None:
+                raise ConfigError("type array needs a payload size")
+            payload = (length + WORD - 1) // WORD * WORD
+            return ARRAY_ELEMENTS_OFFSET + payload
+        return HEADER_BYTES + self.field_words * WORD
+
+    def reference_offsets(self, length: Optional[int] = None
+                          ) -> Sequence[int]:
+        """Byte offsets of every reference slot in an object."""
+        if self.kind is KlassKind.OBJ_ARRAY:
+            if length is None:
+                raise ConfigError("obj array needs a length")
+            return range(ARRAY_ELEMENTS_OFFSET,
+                         ARRAY_ELEMENTS_OFFSET + length * WORD, WORD)
+        if self.kind is KlassKind.TYPE_ARRAY:
+            return ()
+        return self.ref_offsets
+
+
+class KlassTable:
+    """Registry mapping klass ids to descriptors (the "metadata region")."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, KlassDescriptor] = {}
+        self._by_name: Dict[str, KlassDescriptor] = {}
+        self._next_id = 1
+
+    def define(self, name: str, kind: KlassKind, field_words: int = 0,
+               ref_offsets: Sequence[int] = ()) -> KlassDescriptor:
+        """Register a new klass and return its descriptor."""
+        if name in self._by_name:
+            raise ConfigError(f"klass {name!r} already defined")
+        descriptor = KlassDescriptor(
+            klass_id=self._next_id, name=name, kind=kind,
+            field_words=field_words, ref_offsets=tuple(ref_offsets))
+        self._by_id[descriptor.klass_id] = descriptor
+        self._by_name[name] = descriptor
+        self._next_id += 1
+        return descriptor
+
+    def define_instance(self, name: str, ref_fields: int,
+                        prim_fields: int = 0) -> KlassDescriptor:
+        """Convenience: an instance klass with refs first, then prims."""
+        offsets = [HEADER_BYTES + i * WORD for i in range(ref_fields)]
+        return self.define(name, KlassKind.INSTANCE,
+                           field_words=ref_fields + prim_fields,
+                           ref_offsets=offsets)
+
+    def by_id(self, klass_id: int) -> KlassDescriptor:
+        try:
+            return self._by_id[klass_id]
+        except KeyError:
+            raise ConfigError(f"unknown klass id {klass_id}") from None
+
+    def by_name(self, name: str) -> KlassDescriptor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"unknown klass {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+
+def standard_klass_table() -> KlassTable:
+    """A table pre-populated with one klass per HotSpot kind.
+
+    Workload generators add their own application klasses on top.
+    """
+    table = KlassTable()
+    table.define("java/lang/Object", KlassKind.INSTANCE)
+    table.define("objArray", KlassKind.OBJ_ARRAY)
+    table.define("typeArray", KlassKind.TYPE_ARRAY)
+    # Metadata kinds, given small instance-like layouts: a couple of
+    # reference slots plus some payload, mirroring their GC footprint.
+    for kind in KlassKind:
+        if kind in (KlassKind.INSTANCE, KlassKind.OBJ_ARRAY,
+                    KlassKind.TYPE_ARRAY):
+            continue
+        table.define(kind.value, kind, field_words=4,
+                     ref_offsets=(HEADER_BYTES, HEADER_BYTES + WORD))
+    return table

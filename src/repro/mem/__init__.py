@@ -1,0 +1,28 @@
+"""Memory-system substrates: address interleaving, virtual memory,
+DDR4 channels and HMC cubes/vaults/serial-links.
+
+These are the platforms the primitive traces replay against.  Both
+memory systems expose the same small surface:
+
+* ``access(now, addr, nbytes)`` — a single request, returning its
+  completion time;
+* ``stream(...)`` — a bulk transfer spread over the parallel resources
+  (channels or vault groups);
+* byte / energy accounting for the bandwidth and energy figures.
+"""
+
+from repro.mem.address import AddressMapping, BitField, ddr4_mapping, hmc_mapping
+from repro.mem.ddr4 import DDR4System
+from repro.mem.hmc import HMCSystem
+from repro.mem.vm import VirtualMemory, PageMapping
+
+__all__ = [
+    "AddressMapping",
+    "BitField",
+    "ddr4_mapping",
+    "hmc_mapping",
+    "DDR4System",
+    "HMCSystem",
+    "VirtualMemory",
+    "PageMapping",
+]

@@ -1,0 +1,137 @@
+"""Physical-address interleaving schemes.
+
+Table 2 of the paper specifies ``[row:col:bank:rank:ch]`` interleaving
+for DDR4 and ``[row:cube[31:30]:row:col:bank:rank:vault]`` for HMC (the
+cube bits sit at 31:30 so that consecutive 1 GB huge pages land on
+different cubes).  This module provides a generic little-endian bit-field
+mapping plus the two concrete schemes, scaled so the cube granule equals
+the configured huge-page size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+
+def _bits_for(count: int) -> int:
+    """Number of address bits needed to index ``count`` entries."""
+    if count <= 0:
+        raise ConfigError("field needs a positive entry count")
+    bits = (count - 1).bit_length()
+    if (1 << bits) != count:
+        raise ConfigError(f"entry count {count} is not a power of two")
+    return bits
+
+
+@dataclass(frozen=True)
+class BitField:
+    """A named contiguous bit range within an address, LSB-relative."""
+
+    name: str
+    bits: int
+
+
+class AddressMapping:
+    """Decode/encode addresses as a sequence of bit fields.
+
+    ``fields`` are listed from the least-significant end; the remaining
+    high bits always form an implicit ``row``-like residue field named
+    ``rest``.  The mapping is bijective over the full address space,
+    which the test suite verifies by property testing.
+    """
+
+    def __init__(self, fields: Sequence[BitField]) -> None:
+        self.fields: List[BitField] = list(fields)
+        self.total_bits = sum(f.bits for f in self.fields)
+        seen = set()
+        for bit_field in self.fields:
+            if bit_field.name in seen:
+                raise ConfigError(f"duplicate field {bit_field.name!r}")
+            seen.add(bit_field.name)
+
+    def decode(self, addr: int) -> Dict[str, int]:
+        """Split ``addr`` into its named components."""
+        if addr < 0:
+            raise ConfigError("addresses are non-negative")
+        result: Dict[str, int] = {}
+        remaining = addr
+        for bit_field in self.fields:
+            mask = (1 << bit_field.bits) - 1
+            result[bit_field.name] = remaining & mask
+            remaining >>= bit_field.bits
+        result["rest"] = remaining
+        return result
+
+    def encode(self, components: Dict[str, int]) -> int:
+        """Inverse of :meth:`decode`."""
+        addr = components.get("rest", 0)
+        for bit_field in reversed(self.fields):
+            value = components.get(bit_field.name, 0)
+            if value >> bit_field.bits:
+                raise ConfigError(
+                    f"value {value} does not fit field {bit_field.name!r}")
+            addr = (addr << bit_field.bits) | value
+        return addr
+
+    def component(self, addr: int, name: str) -> int:
+        """Extract a single named component of ``addr``."""
+        return self.decode(addr)[name]
+
+
+def ddr4_mapping(channels: int = 2, ranks: int = 4, banks: int = 8,
+                 column_bytes: int = 64) -> AddressMapping:
+    """The Table 2 DDR4 scheme ``[row:col:bank:rank:ch]``.
+
+    Channel bits are lowest (above the intra-line offset) so consecutive
+    cache lines alternate channels — the standard fine-grained
+    interleaving the notation denotes.
+    """
+    return AddressMapping([
+        BitField("offset", _bits_for(column_bytes)),
+        BitField("ch", _bits_for(channels)),
+        BitField("rank", _bits_for(ranks)),
+        BitField("bank", _bits_for(banks)),
+        BitField("col", 7),
+    ])
+
+
+def hmc_mapping(cubes: int = 4, vaults: int = 32, cube_granule: int = 1 << 20,
+                block_bytes: int = 256) -> AddressMapping:
+    """The Table 2 HMC scheme with the cube field at the huge-page granule.
+
+    The paper places cube bits at [31:30] with 1 GB huge pages; our
+    scaled heaps use smaller huge pages, so the cube field sits at
+    ``log2(cube_granule)`` instead, preserving the page-per-cube
+    round-robin behaviour that `numa_alloc_onnode` produces.
+    """
+    offset_bits = _bits_for(block_bytes)
+    vault_bits = _bits_for(vaults)
+    granule_bits = _bits_for(cube_granule)
+    low_row_bits = granule_bits - offset_bits - vault_bits - 7
+    if low_row_bits < 0:
+        raise ConfigError("cube granule too small for vault interleaving")
+    return AddressMapping([
+        BitField("offset", offset_bits),
+        BitField("vault", vault_bits),
+        BitField("col", 7),
+        BitField("row_lo", low_row_bits),
+        BitField("cube", _bits_for(cubes)),
+    ])
+
+
+def ddr4_channel(mapping: AddressMapping, addr: int) -> int:
+    """Channel index for ``addr`` under a DDR4 mapping."""
+    return mapping.component(addr, "ch")
+
+
+def hmc_cube(mapping: AddressMapping, addr: int) -> int:
+    """Cube index for ``addr`` under an HMC mapping."""
+    return mapping.component(addr, "cube")
+
+
+def hmc_vault(mapping: AddressMapping, addr: int) -> int:
+    """Vault index for ``addr`` under an HMC mapping."""
+    return mapping.component(addr, "vault")

@@ -1,0 +1,96 @@
+"""DDR4 main-memory system model (the paper's baseline platform).
+
+Two channels at 17 GB/s each (34 GB/s aggregate), with an access latency
+derived from the Table 2 device timings plus a controller allowance, and
+35 pJ/bit access energy.  Channels are fluid FIFO servers; bulk streams
+split evenly across them, which is what the fine-grained
+``[row:col:bank:rank:ch]`` interleaving achieves in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import DDR4Config
+from repro.mem.address import ddr4_mapping
+from repro.sim.resources import FluidResource, ResourcePath
+from repro.units import CACHE_LINE, pj_per_bit
+
+
+class DDR4System:
+    """A conventional DDR4 memory system behind the host's controller."""
+
+    def __init__(self, config: Optional[DDR4Config] = None) -> None:
+        self.config = config or DDR4Config()
+        energy = pj_per_bit(self.config.energy_pj_per_bit)
+        self.channels: List[FluidResource] = [
+            FluidResource(
+                name=f"ddr4.ch{index}",
+                rate=self.config.bandwidth_per_channel,
+                latency=self.config.access_latency_s,
+                energy_per_byte=energy,
+            )
+            for index in range(self.config.channels)
+        ]
+        self.mapping = ddr4_mapping(channels=self.config.channels,
+                                    ranks=self.config.ranks_per_channel,
+                                    banks=self.config.banks_per_rank)
+
+    # -- single accesses ---------------------------------------------------
+
+    def channel_of(self, addr: int) -> int:
+        """Channel index serving ``addr`` under Table 2 interleaving."""
+        return self.mapping.component(addr, "ch")
+
+    def access(self, now: float, addr: int, nbytes: int = CACHE_LINE) -> float:
+        """One cache-line-sized request; returns its completion time."""
+        channel = self.channels[self.channel_of(addr)]
+        return ResourcePath([channel]).access(now, nbytes)
+
+    # -- bulk streams --------------------------------------------------------
+
+    def stream(self, now: float, total_bytes: int,
+               chunk_bytes: int = CACHE_LINE, mlp: float = 10.0,
+               issue_rate: Optional[float] = None,
+               dependent_batches: int = 1,
+               priority: bool = False) -> float:
+        """Stream ``total_bytes`` across all channels; returns completion.
+
+        Fine-grained channel interleaving spreads a large contiguous
+        transfer evenly, so each channel serves ``1/channels`` of the
+        bytes; the MLP window is likewise split.
+        """
+        share = total_bytes / len(self.channels)
+        per_channel_mlp = max(1.0, mlp / len(self.channels))
+        finish = now
+        for channel in self.channels:
+            path = ResourcePath([channel])
+            finish = max(finish, path.stream(
+                now, int(round(share)), chunk_bytes, per_channel_mlp,
+                issue_rate=issue_rate / len(self.channels)
+                if issue_rate else None,
+                dependent_batches=dependent_batches,
+                priority=priority))
+        return finish
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def bytes_served(self) -> int:
+        return sum(channel.bytes_served for channel in self.channels)
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(channel.energy_joules for channel in self.channels)
+
+    @property
+    def access_latency(self) -> float:
+        return self.config.access_latency_s
+
+    @property
+    def total_bandwidth(self) -> float:
+        return self.config.total_bandwidth
+
+    def reset_accounting(self) -> None:
+        for channel in self.channels:
+            channel.reset_accounting()

@@ -1,0 +1,203 @@
+"""Hybrid Memory Cube system model (Fig. 5a topology).
+
+Four cubes in a star: the host connects to the central cube over a
+serial link; the other cubes hang off the central cube over further
+serial links.  Every link is 80 GB/s with 3 ns latency (Table 2); each
+cube's stacked DRAM offers 320 GB/s of internal (TSV) bandwidth.
+
+Two kinds of requester use the system:
+
+* the **host** — every access crosses the host link, then possibly one
+  cube-to-cube link, then the destination cube's internal path;
+* a **Charon unit** on some cube's logic layer — local accesses use only
+  that cube's internal path; remote accesses cross cube-to-cube links
+  (via the central cube) but never the host link.
+
+The model keeps separate byte counters for TSV traffic, link traffic,
+and local vs. remote unit accesses; Figure 13 is read straight off these
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import HMCConfig
+from repro.errors import ConfigError
+from repro.sim.resources import FluidResource, ResourcePath
+from repro.units import HMC_MAX_REQUEST, pj_per_bit
+
+#: SerDes energy per bit for traffic crossing a serial link.  The paper
+#: does not tabulate link energy separately; published HMC link
+#: measurements (Schmidt et al., MEMSYS'16 — the paper's own energy
+#: source) attribute a few pJ/bit to the SerDes interface.
+LINK_PJ_PER_BIT = 3.0
+
+
+class HMCSystem:
+    """The star-connected multi-cube memory system."""
+
+    def __init__(self, config: Optional[HMCConfig] = None) -> None:
+        self.config = config or HMCConfig()
+        dram_energy = pj_per_bit(self.config.energy_pj_per_bit)
+        link_energy = pj_per_bit(LINK_PJ_PER_BIT)
+        self.internal: List[FluidResource] = [
+            FluidResource(
+                name=f"hmc.cube{index}.internal",
+                rate=self.config.internal_bandwidth_per_cube,
+                latency=self.config.access_latency_s,
+                energy_per_byte=dram_energy,
+            )
+            for index in range(self.config.cubes)
+        ]
+        self.host_link = FluidResource(
+            name="hmc.link.host",
+            rate=self.config.link_bandwidth,
+            latency=self.config.link_latency_s,
+            energy_per_byte=link_energy,
+        )
+        if self.config.topology not in ("star", "fully-connected"):
+            raise ConfigError(
+                f"unknown HMC topology {self.config.topology!r}")
+        self.cross_links: Dict[object, FluidResource] = {}
+        if self.config.topology == "star":
+            for index in range(self.config.cubes):
+                if index == self.config.central_cube:
+                    continue
+                self.cross_links[index] = FluidResource(
+                    name=f"hmc.link.c{self.config.central_cube}"
+                         f"-c{index}",
+                    rate=self.config.link_bandwidth,
+                    latency=self.config.link_latency_s,
+                    energy_per_byte=link_energy,
+                )
+        else:
+            # Fully connected: one direct link per cube pair, keyed by
+            # the sorted pair.
+            for a in range(self.config.cubes):
+                for b in range(a + 1, self.config.cubes):
+                    self.cross_links[(a, b)] = FluidResource(
+                        name=f"hmc.link.c{a}-c{b}",
+                        rate=self.config.link_bandwidth,
+                        latency=self.config.link_latency_s,
+                        energy_per_byte=link_energy,
+                    )
+        # Local/remote accounting for Charon units (Fig. 13 right axis).
+        self.unit_local_bytes = 0
+        self.unit_remote_bytes = 0
+
+    # -- path construction ---------------------------------------------------
+
+    def _link_chain(self, src_cube: int, dst_cube: int) -> List[FluidResource]:
+        """Serial links crossed between two cubes.
+
+        Star: spoke-to-spoke traffic hops through the central cube (two
+        links).  Fully connected: always one direct link.
+        """
+        if src_cube == dst_cube:
+            return []
+        if self.config.topology == "fully-connected":
+            key = (min(src_cube, dst_cube), max(src_cube, dst_cube))
+            return [self.cross_links[key]]
+        central = self.config.central_cube
+        chain: List[FluidResource] = []
+        if src_cube != central:
+            chain.append(self.cross_links[src_cube])
+        if dst_cube != central:
+            chain.append(self.cross_links[dst_cube])
+        return chain
+
+    def host_path(self, cube: int) -> ResourcePath:
+        """Host -> (central cube) -> ``cube`` -> DRAM."""
+        self._check_cube(cube)
+        resources: List[FluidResource] = [self.host_link]
+        resources.extend(self._link_chain(self.config.central_cube, cube))
+        resources.append(self.internal[cube])
+        return ResourcePath(resources)
+
+    def unit_path(self, unit_cube: int, target_cube: int) -> ResourcePath:
+        """A Charon unit on ``unit_cube`` reaching ``target_cube``'s DRAM."""
+        self._check_cube(unit_cube)
+        self._check_cube(target_cube)
+        resources = self._link_chain(unit_cube, target_cube)
+        resources.append(self.internal[target_cube])
+        return ResourcePath(resources)
+
+    def _check_cube(self, cube: int) -> None:
+        if not 0 <= cube < self.config.cubes:
+            raise ConfigError(f"cube index {cube} out of range")
+
+    # -- convenience requests --------------------------------------------------
+
+    def host_access(self, now: float, cube: int,
+                    nbytes: int = HMC_MAX_REQUEST) -> float:
+        return self.host_path(cube).access(now, nbytes)
+
+    def host_stream(self, now: float, cube: int, total_bytes: int,
+                    chunk_bytes: int = HMC_MAX_REQUEST, mlp: float = 10.0,
+                    issue_rate: Optional[float] = None,
+                    dependent_batches: int = 1,
+                    priority: bool = False) -> float:
+        return self.host_path(cube).stream(
+            now, total_bytes, chunk_bytes, mlp, issue_rate=issue_rate,
+            dependent_batches=dependent_batches, priority=priority)
+
+    def unit_access(self, now: float, unit_cube: int, target_cube: int,
+                    nbytes: int = HMC_MAX_REQUEST) -> float:
+        self._count_unit_bytes(unit_cube, target_cube, nbytes)
+        return self.unit_path(unit_cube, target_cube).access(now, nbytes)
+
+    def unit_stream(self, now: float, unit_cube: int, target_cube: int,
+                    total_bytes: int, chunk_bytes: int = HMC_MAX_REQUEST,
+                    mlp: float = 64.0, issue_rate: Optional[float] = None,
+                    dependent_batches: int = 1,
+                    priority: bool = False) -> float:
+        self._count_unit_bytes(unit_cube, target_cube, total_bytes)
+        return self.unit_path(unit_cube, target_cube).stream(
+            now, total_bytes, chunk_bytes, mlp, issue_rate=issue_rate,
+            dependent_batches=dependent_batches, priority=priority)
+
+    def _count_unit_bytes(self, unit_cube: int, target_cube: int,
+                          nbytes: int) -> None:
+        if unit_cube == target_cube:
+            self.unit_local_bytes += nbytes
+        else:
+            self.unit_remote_bytes += nbytes
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def tsv_bytes(self) -> int:
+        """Bytes served through the cubes' internal (TSV) paths."""
+        return sum(res.bytes_served for res in self.internal)
+
+    @property
+    def link_bytes(self) -> int:
+        """Bytes crossing any serial link (host or cube-to-cube)."""
+        total = self.host_link.bytes_served
+        total += sum(link.bytes_served for link in self.cross_links.values())
+        return total
+
+    @property
+    def energy_joules(self) -> float:
+        total = sum(res.energy_joules for res in self.internal)
+        total += self.host_link.energy_joules
+        total += sum(link.energy_joules for link in self.cross_links.values())
+        return total
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of Charon-unit bytes served by the unit's own cube."""
+        total = self.unit_local_bytes + self.unit_remote_bytes
+        if total == 0:
+            return 1.0
+        return self.unit_local_bytes / total
+
+    def reset_accounting(self) -> None:
+        for res in self.internal:
+            res.reset_accounting()
+        self.host_link.reset_accounting()
+        for link in self.cross_links.values():
+            link.reset_accounting()
+        self.unit_local_bytes = 0
+        self.unit_remote_bytes = 0

@@ -1,0 +1,201 @@
+"""Virtual-memory support: pinned pages interleaved over cubes.
+
+Section 4.6 of the paper describes the scheme Charon relies on:
+
+* at launch, the JVM allocates the heap from huge pages and pins them
+  with ``mlock()``;
+* the pages are placed round-robin across HMC cubes with
+  ``numa_alloc_onnode()``;
+* the accelerator-side TLB holds duplicates of exactly those entries, so
+  there are no accelerator TLB misses or page faults during a run;
+* multi-process isolation reuses the standard PCID tags.
+
+:class:`VirtualMemory` implements that for the scaled system.  Pinned
+mappings come in two granularities: huge pages for the heap proper, and
+finer pinned pages for the GC metadata (card table and mark bitmaps) —
+at paper scale the metadata alone spans many 1 GB pages and therefore
+stripes over cubes, so the scaled system must stripe it too.
+Conventional 4 KB demand-paged mappings cover non-heap regions, which
+Charon may *not* touch (attempting to raises
+:class:`~repro.errors.ProtectionFault`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError, ProtectionFault
+from repro.units import align_down
+
+
+@dataclass(frozen=True)
+class PageMapping:
+    """One virtual page's placement."""
+
+    vaddr: int  #: virtual base address of the page
+    page_bytes: int
+    cube: int  #: HMC cube (NUMA node) holding the page
+    pcid: int  #: owning process-context identifier
+    pinned: bool  #: mlock()ed (heap pages are always pinned)
+
+
+class VirtualMemory:
+    """Page tables for one or more simulated JVM processes."""
+
+    def __init__(self, huge_page_bytes: int, cubes: int,
+                 small_page_bytes: int = 4096) -> None:
+        for size in (huge_page_bytes, small_page_bytes):
+            if size <= 0 or size & (size - 1):
+                raise ConfigError("page sizes must be powers of two")
+        if cubes < 1:
+            raise ConfigError("need at least one cube")
+        self.huge_page_bytes = huge_page_bytes
+        self.small_page_bytes = small_page_bytes
+        self.cubes = cubes
+        # page size -> {(pcid, page base vaddr) -> PageMapping}
+        self._tables: Dict[int, Dict[Tuple[int, int], PageMapping]] = {}
+        self._next_node = 0
+
+    def _table(self, page_bytes: int) -> Dict[Tuple[int, int], PageMapping]:
+        return self._tables.setdefault(page_bytes, {})
+
+    # -- mapping ---------------------------------------------------------
+
+    def map_pinned(self, base: int, size: int, page_bytes: int,
+                   pcid: int = 0,
+                   first_node: Optional[int] = None) -> List[PageMapping]:
+        """Pin ``size`` bytes at ``base`` on cube-interleaved pages.
+
+        Mirrors ``mlock()`` + ``numa_alloc_onnode`` round-robin
+        placement.  ``base`` and ``size`` must be page aligned.
+        """
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ConfigError("page size must be a power of two")
+        if base % page_bytes:
+            raise ConfigError("mapping base must be page aligned")
+        if size <= 0 or size % page_bytes:
+            raise ConfigError("mapping size must be a page multiple")
+        table = self._table(page_bytes)
+        node = self._next_node if first_node is None else first_node
+        mappings = []
+        for offset in range(0, size, page_bytes):
+            vaddr = base + offset
+            key = (pcid, vaddr)
+            if key in table:
+                raise ConfigError(f"page at {vaddr:#x} already mapped")
+            mapping = PageMapping(vaddr=vaddr, page_bytes=page_bytes,
+                                  cube=node % self.cubes, pcid=pcid,
+                                  pinned=True)
+            table[key] = mapping
+            mappings.append(mapping)
+            node += 1
+        self._next_node = node
+        return mappings
+
+    def map_heap(self, base: int, size: int, pcid: int = 0,
+                 first_node: Optional[int] = None) -> List[PageMapping]:
+        """Pin the heap on interleaved huge pages
+        (``-XX:+UseLargePages -XX:+AlwaysPretouch``)."""
+        return self.map_pinned(base, size, self.huge_page_bytes,
+                               pcid=pcid, first_node=first_node)
+
+    def map_small(self, base: int, size: int, pcid: int = 0,
+                  cube: int = 0) -> List[PageMapping]:
+        """Map a demand-paged 4 KB region (code, off-heap).  Not pinned."""
+        if base % self.small_page_bytes or size % self.small_page_bytes:
+            raise ConfigError("small mapping must be 4 KB aligned")
+        table = self._table(self.small_page_bytes)
+        mappings = []
+        for offset in range(0, size, self.small_page_bytes):
+            vaddr = base + offset
+            mapping = PageMapping(vaddr=vaddr,
+                                  page_bytes=self.small_page_bytes,
+                                  cube=cube, pcid=pcid, pinned=False)
+            table[(pcid, vaddr)] = mapping
+            mappings.append(mapping)
+        return mappings
+
+    def unmap(self, pcid: int) -> int:
+        """Tear down all mappings of a process; returns the page count."""
+        removed = 0
+        for table in self._tables.values():
+            stale = [key for key in table if key[0] == pcid]
+            for key in stale:
+                del table[key]
+                removed += 1
+        return removed
+
+    # -- translation -----------------------------------------------------
+
+    def lookup(self, vaddr: int, pcid: int = 0) -> PageMapping:
+        """Return the mapping covering ``vaddr`` or raise ProtectionFault."""
+        for page_bytes, table in self._tables.items():
+            base = align_down(vaddr, page_bytes)
+            mapping = table.get((pcid, base))
+            if mapping is not None:
+                return mapping
+        raise ProtectionFault(
+            f"no mapping for vaddr {vaddr:#x} in pcid {pcid}")
+
+    def cube_of(self, vaddr: int, pcid: int = 0) -> int:
+        """Cube (NUMA node) holding ``vaddr``."""
+        return self.lookup(vaddr, pcid).cube
+
+    def accelerator_lookup(self, vaddr: int, pcid: int = 0) -> PageMapping:
+        """Translation as performed by the Charon-side TLB.
+
+        Only pinned pages are duplicated into the accelerator TLB
+        (Sec. 4.6); anything else faults, which models the admission
+        control the paper describes.
+        """
+        mapping = self.lookup(vaddr, pcid)
+        if not mapping.pinned:
+            raise ProtectionFault(
+                f"vaddr {vaddr:#x} is not on a pinned page; "
+                "Charon may only access the pinned heap")
+        return mapping
+
+    # -- introspection ----------------------------------------------------
+
+    def pinned_pages(self, pcid: int = 0) -> Iterator[PageMapping]:
+        """All pinned pages of a process, in address order."""
+        pages: List[PageMapping] = []
+        for table in self._tables.values():
+            pages.extend(m for (p, _), m in table.items()
+                         if p == pcid and m.pinned)
+        return iter(sorted(pages, key=lambda m: m.vaddr))
+
+    def pinned_page_count(self, pcid: int = 0) -> int:
+        return sum(1 for _ in self.pinned_pages(pcid))
+
+    def page_sizes(self) -> List[int]:
+        """Registered page-size classes, ascending."""
+        return sorted(self._tables)
+
+    def split_range_by_cube(self, start: int, length: int,
+                            pcid: int = 0) -> List[Tuple[int, int, int]]:
+        """Split ``[start, start+length)`` into per-cube runs.
+
+        Returns ``(run_start, run_length, cube)`` tuples.  The platform
+        layer uses this to route each piece of a bulk transfer to the
+        cube that owns it, which is what produces the local/remote
+        traffic split of Figure 13.
+        """
+        if length < 0:
+            raise ConfigError("negative range length")
+        runs: List[Tuple[int, int, int]] = []
+        cursor = start
+        end = start + length
+        while cursor < end:
+            mapping = self.lookup(cursor, pcid)
+            page_end = (align_down(cursor, mapping.page_bytes)
+                        + mapping.page_bytes)
+            run_end = min(end, page_end)
+            if runs and runs[-1][2] == mapping.cube:
+                prev_start, prev_len, cube = runs[-1]
+                runs[-1] = (prev_start, prev_len + run_end - cursor, cube)
+            else:
+                runs.append((cursor, run_end - cursor, mapping.cube))
+            cursor = run_end
+        return runs

@@ -1,0 +1,128 @@
+"""Host-side memory ports.
+
+The host reaches memory through one of two ports:
+
+* :class:`DDR4Port` — the conventional system (channels interleave
+  fine-grained, so streams split evenly);
+* :class:`HMCHostPort` — everything funnels through the host serial
+  link into the cube network; ranges split across cubes by the pinned
+  page placement.
+
+Both expose ``stream_range`` (a miss stream with a known base address)
+and ``stream_anon`` (residual traffic with no particular address,
+spread uniformly).
+"""
+
+from __future__ import annotations
+
+
+from repro.errors import ProtectionFault
+from repro.mem.ddr4 import DDR4System
+from repro.mem.hmc import HMCSystem
+from repro.mem.vm import VirtualMemory
+from repro.units import CACHE_LINE
+
+
+class DDR4Port:
+    """Host to DDR4: the Table 2 baseline memory path."""
+
+    name = "ddr4"
+
+    def __init__(self, ddr4: DDR4System) -> None:
+        self.ddr4 = ddr4
+
+    @property
+    def latency(self) -> float:
+        return self.ddr4.access_latency
+
+    @property
+    def drain_bandwidth(self) -> float:
+        return self.ddr4.total_bandwidth
+
+    def stream_range(self, now: float, addr: int, nbytes: int,
+                     chunk: int, mlp: float, dependent_batches: int = 1,
+                     priority: bool = False) -> float:
+        # Fine-grained channel interleaving makes the base address
+        # irrelevant for a bulk stream.
+        return self.ddr4.stream(now, nbytes, chunk_bytes=chunk, mlp=mlp,
+                                dependent_batches=dependent_batches,
+                                priority=priority)
+
+    def stream_anon(self, now: float, nbytes: int, chunk: int,
+                    mlp: float, priority: bool = True) -> float:
+        return self.ddr4.stream(now, nbytes, chunk_bytes=chunk, mlp=mlp,
+                                priority=priority)
+
+    @property
+    def bytes_served(self) -> int:
+        return self.ddr4.bytes_served
+
+    @property
+    def energy_joules(self) -> float:
+        return self.ddr4.energy_joules
+
+
+class HMCHostPort:
+    """Host to the HMC network over the external serial link."""
+
+    name = "hmc"
+
+    def __init__(self, hmc: HMCSystem, vm: VirtualMemory,
+                 pcid: int = 0) -> None:
+        self.hmc = hmc
+        self.vm = vm
+        self.pcid = pcid
+        self._anon_cube = 0
+
+    @property
+    def latency(self) -> float:
+        central = self.hmc.config.central_cube
+        return self.hmc.host_path(central).latency
+
+    @property
+    def drain_bandwidth(self) -> float:
+        return self.hmc.config.link_bandwidth
+
+    def stream_range(self, now: float, addr: int, nbytes: int,
+                     chunk: int, mlp: float, dependent_batches: int = 1,
+                     priority: bool = False) -> float:
+        if nbytes <= 0:
+            return now
+        finish = now
+        try:
+            runs = self.vm.split_range_by_cube(addr, nbytes, self.pcid)
+        except ProtectionFault:
+            return self.stream_anon(now, nbytes, chunk, mlp,
+                                    priority=priority)
+        for _, run_len, cube in runs:
+            finish = max(finish, self.hmc.host_stream(
+                now, cube, run_len, chunk_bytes=chunk, mlp=mlp,
+                dependent_batches=dependent_batches, priority=priority))
+        return finish
+
+    def stream_anon(self, now: float, nbytes: int, chunk: int,
+                    mlp: float, priority: bool = True) -> float:
+        """Traffic with no recorded address: spread cubes round-robin."""
+        if nbytes <= 0:
+            return now
+        cubes = self.hmc.config.cubes
+        share = max(CACHE_LINE, nbytes // cubes)
+        finish = now
+        remaining = nbytes
+        while remaining > 0:
+            cube = self._anon_cube
+            self._anon_cube = (self._anon_cube + 1) % cubes
+            piece = min(share, remaining)
+            finish = max(finish, self.hmc.host_stream(
+                now, cube, piece, chunk_bytes=chunk, mlp=mlp,
+                priority=priority))
+            remaining -= piece
+        return finish
+
+    @property
+    def bytes_served(self) -> int:
+        return self.hmc.tsv_bytes
+
+    @property
+    def energy_joules(self) -> float:
+        return self.hmc.energy_joules

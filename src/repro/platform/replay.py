@@ -1,0 +1,182 @@
+"""The trace replayer: traces x platform -> timing/energy results.
+
+Events execute on the configured number of GC threads.  Within each
+phase, every event goes to the least-loaded thread (work stealing keeps
+HotSpot's parallel collectors balanced, so the least-loaded assignment
+is the right approximation); phase boundaries are barriers, and each
+phase's residual (non-offloadable) host work is divided evenly across
+threads at its barrier.  Resource contention couples the threads: every
+memory stream reserves real bandwidth on the shared fluid resources, so
+eight threads hammering two DDR4 channels saturate exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+from repro.gcalgo.trace import GCTrace, Primitive, TraceEvent
+from repro.platform.base import Platform
+from repro.platform.timing import GCTimingResult, PlatformEnergy
+
+
+class TraceReplayer:
+    """Replays successive GC traces on one platform instance."""
+
+    def __init__(self, platform: Platform, threads: int = None) -> None:
+        self.platform = platform
+        self.threads = (platform.config.gc_threads if threads is None
+                        else threads)
+        if self.threads < 1:
+            raise ValueError("need at least one GC thread")
+        cores = platform.config.host.num_cores
+        if not platform.offloads:
+            # Host-executed primitives need a core each; extra GC
+            # threads beyond the core count cannot add parallelism.
+            self.threads = min(self.threads, cores)
+        # Residual work always runs on the host, core-bounded even when
+        # many more threads sit blocked on offload responses.
+        self._residual_threads = min(self.threads, cores)
+        self.clock = 0.0  # global time; GCs replay back to back
+
+    # -- public API --------------------------------------------------------
+
+    def replay(self, trace: GCTrace) -> GCTimingResult:
+        """Replay one GC trace; returns its timing result."""
+        platform = self.platform
+        gc_start = self.clock
+        work_start = platform.begin_gc(gc_start)
+        flush_seconds = work_start - gc_start
+
+        thread_clock = [work_start] * self.threads
+        primitive_seconds: Dict[Primitive, float] = {}
+        residual_seconds = 0.0
+        host_busy = flush_seconds  # LLC flush occupies the host
+        charon_busy_before = platform.charon_busy_seconds()
+        bc_hits_before, bc_accesses_before = \
+            platform.bitmap_cache_counters()
+        bytes_before, energy_before = platform.memory_snapshot()
+        traffic_before = platform.traffic_detail()
+
+        for phase, events in self._phases(trace):
+            # Least-loaded thread assignment via a heap of clocks.
+            heap: List[Tuple[float, int]] = [
+                (clock, index) for index, clock in enumerate(thread_clock)]
+            heapq.heapify(heap)
+            for event in events:
+                now, index = heapq.heappop(heap)
+                finish = platform.offload_finish(now, event,
+                                                 trace.kind)
+                duration = finish - now
+                primitive_seconds[event.primitive] = \
+                    primitive_seconds.get(event.primitive, 0.0) + duration
+                if not platform.offloads:
+                    host_busy += duration
+                elif platform.name != "ideal":
+                    # The host thread blocks on the response; only the
+                    # dispatch instant burns host pipeline.
+                    host_busy += \
+                        platform.config.costs.charon_dispatch_overhead_s
+                heapq.heappush(heap, (finish, index))
+            for clock, index in heap:
+                thread_clock[index] = clock
+            # The phase's residual host work, split across threads.
+            work = trace.residuals.get(phase)
+            if work is not None:
+                barrier = max(thread_clock)
+                share = platform.cost_model.residual_seconds(
+                    barrier, work, self._residual_threads)
+                residual_seconds += share * self._residual_threads
+                host_busy += share * self._residual_threads
+                barrier += share
+                thread_clock = [barrier] * self.threads
+            else:
+                barrier = max(thread_clock)
+                thread_clock = [barrier] * self.threads
+            platform.phase_end(phase)
+
+        # Residual-only phases that had no events (e.g. summary).
+        leftover = [name for name in trace.residuals
+                    if name not in {p for p, _ in self._phases(trace)}]
+        now = max(thread_clock)
+        for phase in leftover:
+            share = platform.cost_model.residual_seconds(
+                now, trace.residuals[phase], self._residual_threads)
+            residual_seconds += share * self._residual_threads
+            host_busy += share * self._residual_threads
+            now += share
+            platform.phase_end(phase)
+
+        wall = now - gc_start
+        self.clock = now
+
+        bytes_after, energy_after = platform.memory_snapshot()
+        result = GCTimingResult(
+            platform=platform.name,
+            gc_kind=trace.kind,
+            wall_seconds=wall,
+            primitive_seconds=primitive_seconds,
+            residual_seconds=residual_seconds,
+            flush_seconds=flush_seconds,
+            dram_bytes=bytes_after - bytes_before,
+        )
+        traffic_after = platform.traffic_detail()
+        if traffic_after:
+            result.link_bytes = int(traffic_after["link_bytes"]
+                                    - traffic_before.get("link_bytes", 0))
+            result.tsv_bytes = int(traffic_after["tsv_bytes"]
+                                   - traffic_before.get("tsv_bytes", 0))
+            result.local_fraction = traffic_after["local_fraction"]
+        bc_hits, bc_accesses = platform.bitmap_cache_counters()
+        result.bitmap_cache_hits = bc_hits - bc_hits_before
+        result.bitmap_cache_accesses = bc_accesses - bc_accesses_before
+        result.energy = self._energy(
+            wall, host_busy, energy_after - energy_before,
+            platform.charon_busy_seconds() - charon_busy_before)
+        return result
+
+    def replay_all(self, traces: Iterable[GCTrace]) -> GCTimingResult:
+        """Replay a run's GC events back to back; returns the combined
+        result."""
+        results = [self.replay(trace) for trace in traces]
+        return GCTimingResult.combine(results)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _phases(trace: GCTrace) -> List[Tuple[str, List[TraceEvent]]]:
+        phases: List[Tuple[str, List[TraceEvent]]] = []
+        for event in trace.events:
+            if not phases or phases[-1][0] != event.phase:
+                phases.append((event.phase, []))
+            phases[-1][1].append(event)
+        return phases
+
+    def _energy(self, wall: float, host_busy: float, memory_j: float,
+                charon_busy: float) -> PlatformEnergy:
+        """Package-level energy model.
+
+        Host: during a stop-the-world collection every GC thread
+        occupies a core for the whole pause — working, spinning in the
+        termination protocol, or busy-waiting on a blocked offload (the
+        Sec. 4.1 intrinsic blocks the calling thread) — so the package
+        draws near-active power for ``min(threads, cores)`` cores
+        regardless of platform.  This is why Charon's energy saving
+        (Fig. 17) tracks its speedup sublinearly.  Charon: per-unit
+        active power for unit-busy-seconds plus a small static floor.
+        Memory: the pJ/bit accounting done by the resources.
+        """
+        costs = self.platform.config.costs
+        cores = self.platform.config.host.num_cores
+        active_threads = min(self.threads, cores)
+        host_power = costs.host_idle_power_w \
+            + (costs.host_active_power_w - costs.host_idle_power_w) \
+            * active_threads / cores
+        host_j = host_power * wall
+        charon_j = 0.0
+        if self.platform.device is not None:
+            charon_j = (costs.charon_unit_active_power_w * charon_busy
+                        + costs.charon_static_power_w * wall)
+        return PlatformEnergy(host_j=host_j, memory_j=memory_j,
+                              charon_j=charon_j)

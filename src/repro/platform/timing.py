@@ -1,0 +1,101 @@
+"""Result records produced by trace replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.gcalgo.trace import Primitive
+
+
+@dataclass
+class PlatformEnergy:
+    """Energy breakdown of one replay in joules."""
+
+    host_j: float = 0.0
+    memory_j: float = 0.0
+    charon_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.host_j + self.memory_j + self.charon_j
+
+
+@dataclass
+class GCTimingResult:
+    """Timing/traffic/energy of one GC trace on one platform."""
+
+    platform: str
+    gc_kind: str
+    wall_seconds: float
+    #: per-primitive *work* time summed over threads (for Fig. 4/14).
+    primitive_seconds: Dict[Primitive, float] = field(default_factory=dict)
+    residual_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    #: memory traffic during the replay.
+    dram_bytes: int = 0
+    link_bytes: int = 0
+    tsv_bytes: int = 0
+    local_fraction: Optional[float] = None
+    #: Bitmap Count unit's cache hits/accesses during this replay.
+    bitmap_cache_hits: int = 0
+    bitmap_cache_accesses: int = 0
+    energy: PlatformEnergy = field(default_factory=PlatformEnergy)
+
+    @property
+    def bitmap_cache_hit_rate(self) -> Optional[float]:
+        if self.bitmap_cache_accesses == 0:
+            return None
+        return self.bitmap_cache_hits / self.bitmap_cache_accesses
+
+    @property
+    def offloadable_seconds(self) -> float:
+        return sum(self.primitive_seconds.values())
+
+    def primitive_share(self, primitive: Primitive) -> float:
+        total = self.offloadable_seconds + self.residual_seconds
+        if total == 0:
+            return 0.0
+        return self.primitive_seconds.get(primitive, 0.0) / total
+
+    @property
+    def utilized_bandwidth(self) -> float:
+        """Average bytes/second moved during the collection (Fig. 13)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.dram_bytes / self.wall_seconds
+
+    @staticmethod
+    def combine(results: "list[GCTimingResult]") -> "GCTimingResult":
+        """Aggregate several GC events of one run (same platform)."""
+        if not results:
+            raise ValueError("cannot combine zero results")
+        first = results[0]
+        combined = GCTimingResult(
+            platform=first.platform,
+            gc_kind="all" if len({r.gc_kind for r in results}) > 1
+            else first.gc_kind,
+            wall_seconds=sum(r.wall_seconds for r in results),
+        )
+        for result in results:
+            for primitive, seconds in result.primitive_seconds.items():
+                combined.primitive_seconds[primitive] = \
+                    combined.primitive_seconds.get(primitive, 0.0) + seconds
+            combined.residual_seconds += result.residual_seconds
+            combined.flush_seconds += result.flush_seconds
+            combined.dram_bytes += result.dram_bytes
+            combined.link_bytes += result.link_bytes
+            combined.tsv_bytes += result.tsv_bytes
+            combined.energy.host_j += result.energy.host_j
+            combined.energy.memory_j += result.energy.memory_j
+            combined.energy.charon_j += result.energy.charon_j
+        locals_known = [r.local_fraction for r in results
+                        if r.local_fraction is not None]
+        if locals_known:
+            combined.local_fraction = (
+                sum(locals_known) / len(locals_known))
+        combined.bitmap_cache_hits = sum(r.bitmap_cache_hits
+                                         for r in results)
+        combined.bitmap_cache_accesses = sum(r.bitmap_cache_accesses
+                                             for r in results)
+        return combined

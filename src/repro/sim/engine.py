@@ -1,0 +1,175 @@
+"""Minimal discrete-event simulation core.
+
+The engine is a classic calendar queue over ``(time, seq, event)`` tuples.
+Components schedule callbacks; the simulator guarantees monotonically
+non-decreasing time and detects scheduling into the past, which would
+indicate a modelling bug.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` so that simultaneous events fire
+    in scheduling order, keeping runs deterministic.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a float time base (seconds)."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for engine statistics)."""
+        return self._events_fired
+
+    def schedule(self, delay: float, action: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may later cancel.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay!r}, label={label!r})")
+        event = Event(time=self._now + delay, seq=self._seq, action=action,
+                      label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``action`` at an absolute time."""
+        return self.schedule(time - self._now, action, label)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"time reversal: event at {event.time} < now {self._now}")
+            self._now = event.time
+            self._events_fired += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the final simulation time.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            fired += 1
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without executing events.
+
+        Only legal when no pending event precedes ``time``; used by the
+        trace replayer to account for host-side serial work between
+        offloads.
+        """
+        if time < self._now:
+            raise SimulationError("advance_to would move time backwards")
+        next_time = self.peek_time()
+        if next_time is not None and next_time < time:
+            raise SimulationError(
+                "advance_to would skip a pending event; run() first")
+        self._now = time
+
+    def drain(self) -> float:
+        """Run all remaining events and return the final time."""
+        return self.run()
+
+
+class Process:
+    """A resumable activity driven by a generator of delays.
+
+    The generator yields float delays (seconds); the engine resumes it
+    after each delay, which gives component models a convenient coroutine
+    style without threads.  Yielding ``None`` suspends the process until
+    :meth:`wake` is called (used for blocking on queue space).
+    """
+
+    def __init__(self, sim: Simulator, gen, label: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self._label = label
+        self._waiting = False
+        self.finished = False
+        self.on_finish: Optional[Callable[[], None]] = None
+        self._step()
+
+    def _step(self) -> None:
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            if self.on_finish is not None:
+                self.on_finish()
+            return
+        if delay is None:
+            self._waiting = True
+        else:
+            self._sim.schedule(delay, self._step, self._label)
+
+    def wake(self) -> None:
+        """Resume a process that yielded ``None``."""
+        if self.finished:
+            raise SimulationError("cannot wake a finished process")
+        if not self._waiting:
+            raise SimulationError("process is not waiting")
+        self._waiting = False
+        self._sim.schedule(0.0, self._step, self._label + ":wake")

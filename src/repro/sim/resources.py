@@ -1,0 +1,226 @@
+"""Fluid-flow bandwidth resources.
+
+Every bandwidth-carrying element of the modelled system — a DDR4 channel,
+an HMC vault group, a cube-to-cube serial link, the host's on-chip memory
+path — is a :class:`FluidResource`: a FIFO server with a byte rate and a
+fixed access latency.  A transfer of ``B`` bytes queues behind earlier
+traffic and occupies the server for ``B / rate`` seconds.
+
+:class:`ResourcePath` composes several resources into an end-to-end path
+(e.g. host -> serial link -> remote vault) and implements the
+*stream-transfer* timing model used for primitive replay:
+
+``finish = max(bandwidth bound, latency/MLP bound, issue bound)``
+
+* bandwidth bound — FIFO reservation of the full byte volume on every
+  resource along the path;
+* latency/MLP bound — a window of ``mlp`` outstanding requests of size
+  ``chunk`` each experiencing the path round-trip latency;
+* issue bound — the requester can inject at most ``issue_rate`` requests
+  per second (Charon units issue one per cycle, Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class FluidResource:
+    """A FIFO fluid server with a service rate and per-access latency."""
+
+    def __init__(self, name: str, rate: float, latency: float = 0.0,
+                 energy_per_byte: float = 0.0) -> None:
+        if rate <= 0:
+            raise SimulationError(f"resource {name!r} needs a positive rate")
+        if latency < 0:
+            raise SimulationError(f"resource {name!r} has negative latency")
+        self.name = name
+        self.rate = rate  #: bytes per second
+        self.latency = latency  #: seconds per access (added once per request)
+        self.energy_per_byte = energy_per_byte  #: joules per byte moved
+        self.busy_until = 0.0
+        #: separate horizon for the short-request lane (see
+        #: :meth:`reserve_small`).
+        self.small_busy_until = 0.0
+        self.bytes_served = 0
+        self.busy_time = 0.0
+        self.energy_joules = 0.0
+        self.requests = 0
+
+    def reserve(self, now: float, nbytes: int) -> float:
+        """Reserve ``nbytes`` of service starting no earlier than ``now``.
+
+        Returns the time at which the last byte leaves the server (not
+        including the access latency, which the caller adds once per
+        logical request).
+        """
+        if nbytes < 0:
+            raise SimulationError("cannot reserve a negative byte count")
+        start = max(now, self.busy_until)
+        service = nbytes / self.rate
+        self.busy_until = start + service
+        self._account(nbytes, service)
+        return self.busy_until
+
+    def reserve_small(self, now: float, nbytes: int) -> float:
+        """Reserve service on the short-request priority lane.
+
+        Memory controllers (FR-FCFS and successors) interleave short
+        demand requests ahead of long streaming bursts, so a random
+        64-byte probe does not wait behind a megabyte copy stream.  The
+        lane shares the byte accounting but keeps its own FIFO horizon;
+        bulk traffic is unaffected because priority traffic is small by
+        definition.
+        """
+        if nbytes < 0:
+            raise SimulationError("cannot reserve a negative byte count")
+        start = max(now, self.small_busy_until)
+        service = nbytes / self.rate
+        self.small_busy_until = start + service
+        self._account(nbytes, service)
+        return self.small_busy_until
+
+    def tally(self, nbytes: int) -> float:
+        """Account bytes/energy without occupying a FIFO horizon.
+
+        For sub-100-byte control packets and pipelined probe traffic the
+        queueing contribution is negligible, but reserving them on a
+        horizon at a *future* completion time would (incorrectly) block
+        earlier arrivals in the single-horizon FIFO approximation —
+        tally sidesteps that while keeping bandwidth/energy accounting
+        exact.  Returns the pure serialisation delay of the bytes.
+        """
+        service = nbytes / self.rate
+        self._account(nbytes, service)
+        return service
+
+    def _account(self, nbytes: int, service: float) -> None:
+        self.bytes_served += nbytes
+        self.busy_time += service
+        self.energy_joules += nbytes * self.energy_per_byte
+        self.requests += 1
+
+    def earliest_start(self, now: float) -> float:
+        """When a request arriving at ``now`` would begin service."""
+        return max(now, self.busy_until)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the server was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def snapshot(self) -> dict:
+        """Copy of the accounting counters (for interval deltas)."""
+        return {
+            "bytes_served": self.bytes_served,
+            "busy_time": self.busy_time,
+            "energy_joules": self.energy_joules,
+            "requests": self.requests,
+        }
+
+    def reset_accounting(self) -> None:
+        """Zero the statistics counters (the FIFO horizon is kept)."""
+        self.bytes_served = 0
+        self.busy_time = 0.0
+        self.energy_joules = 0.0
+        self.requests = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FluidResource({self.name!r}, rate={self.rate:.3g} B/s, "
+                f"latency={self.latency:.3g} s)")
+
+
+class LatencyLink(FluidResource):
+    """A link dominated by latency; bandwidth may still be finite.
+
+    Used for HMC serial links (80 GB/s, 3 ns per Table 2).
+    """
+
+    def __init__(self, name: str, latency: float,
+                 rate: float = float("inf"),
+                 energy_per_byte: float = 0.0) -> None:
+        # A truly infinite rate breaks the fluid arithmetic; use a very
+        # large finite rate instead.
+        if math.isinf(rate):
+            rate = 1e18
+        super().__init__(name, rate=rate, latency=latency,
+                         energy_per_byte=energy_per_byte)
+
+
+class ResourcePath:
+    """An ordered chain of resources between a requester and memory."""
+
+    def __init__(self, resources: Sequence[FluidResource],
+                 extra_latency: float = 0.0) -> None:
+        self.resources: List[FluidResource] = list(resources)
+        self.extra_latency = extra_latency
+
+    @property
+    def latency(self) -> float:
+        """One-way access latency of the full path in seconds."""
+        return self.extra_latency + sum(r.latency for r in self.resources)
+
+    @property
+    def bottleneck_rate(self) -> float:
+        """The lowest byte rate along the path."""
+        return min(r.rate for r in self.resources)
+
+    def access(self, now: float, nbytes: int) -> float:
+        """A single request of ``nbytes``; returns its completion time."""
+        finish = now
+        for resource in self.resources:
+            finish = max(finish, resource.reserve(now, nbytes))
+        return finish + self.latency
+
+    def stream(self, now: float, total_bytes: int, chunk_bytes: int,
+               mlp: float, issue_rate: Optional[float] = None,
+               dependent_batches: int = 1,
+               priority: bool = False) -> float:
+        """Stream ``total_bytes`` through the path; returns completion time.
+
+        ``mlp`` is the requester's maximum number of outstanding requests;
+        ``issue_rate`` (requests/second) bounds injection;
+        ``dependent_batches`` > 1 models serially-dependent phases (each
+        pays the full path latency once); ``priority`` routes the bytes
+        through the short-request lane (latency-sensitive random
+        accesses that controllers interleave ahead of bulk streams).
+        """
+        if total_bytes <= 0:
+            return now + self.latency * dependent_batches
+        if chunk_bytes <= 0:
+            raise SimulationError("chunk_bytes must be positive")
+        if mlp <= 0:
+            raise SimulationError("mlp must be positive")
+        n_requests = math.ceil(total_bytes / chunk_bytes)
+
+        # Bandwidth/queueing bound: FIFO reservation on every resource.
+        finish_bw = now
+        for resource in self.resources:
+            if priority:
+                finish_bw = max(finish_bw,
+                                resource.reserve_small(now, total_bytes))
+            else:
+                finish_bw = max(finish_bw,
+                                resource.reserve(now, total_bytes))
+
+        # Latency/MLP bound: a window of `mlp` outstanding requests.
+        round_trip = self.latency
+        finish_lat = now + round_trip * dependent_batches
+        if round_trip > 0:
+            finish_lat += (n_requests - 1) * (round_trip / mlp)
+
+        # Issue bound.
+        finish_issue = now
+        if issue_rate is not None and issue_rate > 0:
+            finish_issue = now + n_requests / issue_rate + round_trip
+
+        return max(finish_bw, finish_lat, finish_issue)
+
+
+def combined_bytes(resources: Iterable[FluidResource]) -> int:
+    """Total bytes served by a set of resources (bandwidth reporting)."""
+    return sum(r.bytes_served for r in resources)

@@ -1,0 +1,75 @@
+"""Unit helpers and constants.
+
+The timing layer works in *seconds* (floats) and *bytes* (ints) uniformly,
+because the simulated system spans several clock domains (host core at
+2.67 GHz, DDR4 at tCK = 0.937 ns, HMC at tCK = 1.6 ns, Charon units at
+1 GHz).  These helpers keep conversions explicit and readable.
+"""
+
+from __future__ import annotations
+
+# -- byte sizes ---------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+CACHE_LINE = 64  #: host cache-line size in bytes
+HMC_MAX_REQUEST = 256  #: maximum HMC access granularity in bytes (Sec. 4.2)
+WORD = 8  #: heap word size in bytes (64-bit)
+
+# -- time ---------------------------------------------------------------
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Convert a cycle count at frequency ``freq_hz`` to seconds."""
+    return cycles / freq_hz
+
+
+def seconds_to_cycles(seconds: float, freq_hz: float) -> float:
+    """Convert seconds to (fractional) cycles at frequency ``freq_hz``."""
+    return seconds * freq_hz
+
+
+def gb_per_s(value: float) -> float:
+    """Bandwidth given in GB/s, returned in bytes/second.
+
+    The paper quotes link and memory bandwidths in decimal GB/s
+    (e.g. 320 GB/s per cube); we follow the same convention.
+    """
+    return value * 1e9
+
+
+def pj_per_bit(value: float) -> float:
+    """Energy-per-bit given in pJ/bit, returned in joules per *byte*."""
+    return value * 1e-12 * 8
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return value // alignment * alignment
+
+
+def geomean(values) -> float:
+    """Geometric mean of an iterable of positive floats."""
+    import math
+
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

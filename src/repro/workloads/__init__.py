@@ -1,0 +1,28 @@
+"""Synthetic workloads with the paper's object demographics (Table 3).
+
+The six applications — Spark's Bayesian classifier, k-means and
+logistic regression; GraphChi's connected components, PageRank and ALS —
+are reproduced as mutators whose *object demographics* (sizes,
+reference counts, lifetimes, caching behaviour) follow the paper's
+Section 3/5 characterisation.  GC behaviour depends on those
+demographics, not on the algorithms' arithmetic, so each workload
+performs token computation while exercising the allocation/retention
+pattern that drives its published GC profile.
+
+Heap sizes are the Table 3 values scaled by 1/256 (see DESIGN.md).
+"""
+
+from repro.workloads.mutator import Handle, MutatorDriver, WorkloadRun
+from repro.workloads.registry import (WORKLOAD_NAMES, get_workload,
+                                      run_workload)
+from repro.workloads.rmat import generate_rmat
+
+__all__ = [
+    "Handle",
+    "MutatorDriver",
+    "WorkloadRun",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "run_workload",
+    "generate_rmat",
+]

@@ -1,0 +1,66 @@
+"""Workload base class and shared klass definitions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HeapConfig, scaled_heap_bytes
+from repro.heap.heap import JavaHeap
+from repro.heap.klass import KlassTable, standard_klass_table
+from repro.workloads.mutator import MutatorDriver, WorkloadRun
+
+
+def workload_klasses() -> KlassTable:
+    """The application klasses every workload shares.
+
+    * ``Record`` — a small data-carrying instance (2 refs + 2 prims),
+      the sample/tuple objects of the Spark workloads;
+    * ``Vertex`` — a graph vertex (value, adjacency and payload refs);
+    * ``Box`` — a boxed value (1 ref + 1 prim), PageRank ranks and CC
+      labels;
+    * ``Message`` — a GraphChi update message (target + payload refs);
+    * plus the standard ``objArray`` / ``typeArray``.
+    """
+    table = standard_klass_table()
+    table.define_instance("Record", ref_fields=2, prim_fields=2)
+    table.define_instance("Vertex", ref_fields=3, prim_fields=2)
+    table.define_instance("Box", ref_fields=1, prim_fields=1)
+    table.define_instance("Message", ref_fields=2, prim_fields=1)
+    return table
+
+
+class Workload:
+    """One application: a setup phase plus iterations over the data."""
+
+    name = "workload"
+    framework = "none"
+    dataset = ""
+    iterations = 1
+    #: per-iteration computation (seconds) added to the mutator-time
+    #: proxy on top of allocation throughput.
+    compute_seconds_per_iteration = 0.0
+
+    @property
+    def default_heap_bytes(self) -> int:
+        return scaled_heap_bytes(self.name)
+
+    def build_heap(self, heap_bytes: Optional[int] = None) -> JavaHeap:
+        config = HeapConfig(
+            heap_bytes=heap_bytes or self.default_heap_bytes)
+        return JavaHeap(config, klasses=workload_klasses())
+
+    def setup(self, driver: MutatorDriver) -> None:
+        """Allocate the long-lived state (caches, graphs, matrices)."""
+
+    def iteration(self, driver: MutatorDriver, index: int) -> None:
+        """One epoch of the application."""
+
+    def run(self, heap_bytes: Optional[int] = None) -> WorkloadRun:
+        """Execute the full workload; returns its run record."""
+        heap = self.build_heap(heap_bytes)
+        driver = MutatorDriver(heap, run_name=self.name)
+        self.setup(driver)
+        for index in range(self.iterations):
+            self.iteration(driver, index)
+        compute = self.compute_seconds_per_iteration * self.iterations
+        return driver.finish(compute_seconds=compute)

@@ -1,0 +1,198 @@
+"""The mutator driver: allocation, GC triggering, and stable handles.
+
+:class:`MutatorDriver` plays the role of the JVM runtime around the
+collectors:
+
+* allocation goes to Eden; objects larger than a quarter of Eden go
+  straight to the Old generation (HotSpot's humongous-allocation path);
+* an allocation failure triggers a MinorGC — preceded by a MajorGC when
+  the scavenger's promotion-safety check fails — and is retried; a
+  retry failure after a full collection raises
+  :class:`~repro.errors.OutOfMemoryError`, which the heap-sizing sweeps
+  (Fig. 2) catch;
+* every collection's trace is recorded for later replay.
+
+Because collections move objects, workload code never holds raw
+addresses across an allocation; it holds :class:`Handle`\\ s — root-table
+slots the collectors update in place, exactly like JNI global refs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import OutOfMemoryError
+from repro.gcalgo.mark_compact import MajorGC
+from repro.gcalgo.parallel_scavenge import MinorGC
+from repro.gcalgo.trace import GCTrace
+from repro.heap.heap import JavaHeap
+from repro.heap.object_model import ObjectView
+from repro.units import align_up
+
+
+class Handle:
+    """A GC-stable object reference backed by a root-table slot."""
+
+    def __init__(self, driver: "MutatorDriver", index: int) -> None:
+        self._driver = driver
+        self._index = index
+
+    @property
+    def addr(self) -> int:
+        """The object's current address (collectors keep it fresh)."""
+        return self._driver.heap.roots[self._index]
+
+    def view(self) -> ObjectView:
+        return self._driver.heap.object_at(self.addr)
+
+    def set(self, addr: int) -> None:
+        self._driver.heap.roots[self._index] = addr
+
+    def release(self) -> None:
+        """Drop the reference (the object may become garbage)."""
+        self._driver.heap.roots[self._index] = 0
+
+
+@dataclass
+class WorkloadRun:
+    """Everything a finished workload run produced."""
+
+    name: str
+    heap_bytes: int
+    traces: List[GCTrace] = field(default_factory=list)
+    allocated_bytes: int = 0
+    allocated_objects: int = 0
+    mutator_seconds: float = 0.0
+    minor_count: int = 0
+    major_count: int = 0
+
+    @property
+    def minor_traces(self) -> List[GCTrace]:
+        return [t for t in self.traces if t.kind == "minor"]
+
+    @property
+    def major_traces(self) -> List[GCTrace]:
+        return [t for t in self.traces if t.kind == "major"]
+
+    @property
+    def gc_count(self) -> int:
+        return len(self.traces)
+
+
+class MutatorDriver:
+    """Allocation front-end that triggers and records collections."""
+
+    #: objects larger than Eden/4 allocate directly in the old
+    #: generation, as HotSpot does for humongous allocations.
+    LARGE_OBJECT_EDEN_FRACTION = 4
+
+    def __init__(self, heap: JavaHeap, run_name: str = "run",
+                 verify_each_gc: bool = False) -> None:
+        self.heap = heap
+        self.run = WorkloadRun(name=run_name,
+                               heap_bytes=heap.config.heap_bytes)
+        self._free_roots: List[int] = []
+        #: run the heap verifier after every collection (the
+        #: -XX:+VerifyAfterGC analogue; slow, for debugging).
+        self.verify_each_gc = verify_each_gc
+
+    # -- handles ------------------------------------------------------------
+
+    def handle(self, addr: int = 0) -> Handle:
+        """Allocate a root-table slot holding ``addr``."""
+        if self._free_roots:
+            index = self._free_roots.pop()
+            self.heap.roots[index] = addr
+        else:
+            index = len(self.heap.roots)
+            self.heap.roots.append(addr)
+        return Handle(self, index)
+
+    def release(self, handle: Handle) -> None:
+        handle.release()
+        self._free_roots.append(handle._index)
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, klass_name: str,
+                 length: Optional[int] = None) -> ObjectView:
+        """Allocate with GC-on-failure semantics.
+
+        The returned view's address is valid only until the next
+        allocation; stash it in a handle or a heap structure first.
+        """
+        heap = self.heap
+        klass = heap.klasses.by_name(klass_name)
+        size = align_up(klass.instance_bytes(length), 8)
+        eden = heap.layout.eden
+        large = size > eden.capacity // self.LARGE_OBJECT_EDEN_FRACTION
+        space = heap.layout.old if large else None
+
+        for attempt in range(3):
+            try:
+                view = heap.new_object(klass_name, length=length,
+                                       space=space)
+                self.run.allocated_bytes += size
+                self.run.allocated_objects += 1
+                return view
+            except OutOfMemoryError:
+                if attempt == 0:
+                    if large:
+                        self.major_gc()
+                    else:
+                        self.minor_gc()
+                elif attempt == 1:
+                    self.major_gc()
+                else:
+                    raise
+        raise OutOfMemoryError("allocation failed after full GC")
+
+    # -- collections ----------------------------------------------------------------
+
+    def minor_gc(self) -> GCTrace:
+        """Scavenge, preceded by a full GC if promotion is unsafe.
+
+        When even a full collection cannot guarantee a safe scavenge,
+        the heap is genuinely too small: raise OutOfMemoryError, which
+        the Fig. 2 heap-sizing sweeps rely on.
+        """
+        if not MinorGC(self.heap).promotion_safe():
+            self.major_gc()
+            if not MinorGC(self.heap).promotion_safe():
+                raise OutOfMemoryError(
+                    "old generation cannot absorb a worst-case "
+                    "promotion even after a full GC; heap too small")
+        trace = MinorGC(self.heap).collect()
+        self.run.traces.append(trace)
+        self.run.minor_count += 1
+        self._maybe_verify()
+        return trace
+
+    def major_gc(self) -> GCTrace:
+        trace = MajorGC(self.heap).collect()
+        self.run.traces.append(trace)
+        self.run.major_count += 1
+        self._maybe_verify()
+        return trace
+
+    def _maybe_verify(self) -> None:
+        if self.verify_each_gc:
+            from repro.heap.verifier import verify_heap
+            verify_heap(self.heap)
+
+    # -- mutator time ------------------------------------------------------------------
+
+    #: Useful-work proxy: allocation throughput of the whole (8-core)
+    #: mutator side -- big-data frameworks allocate from every worker
+    #: thread, ~1.25 GB/s per core; the per-workload compute term comes
+    #: on top.  Calibrated so GC overhead at 2x the minimum heap lands
+    #: in the ~15% range the paper's Fig. 2 reports.
+    ALLOCATION_RATE = 10e9  # bytes/second (all mutator threads)
+
+    def finish(self, compute_seconds: float = 0.0) -> WorkloadRun:
+        """Close out the run and compute the mutator-time proxy."""
+        self.run.mutator_seconds = (
+            self.run.allocated_bytes / self.ALLOCATION_RATE
+            + compute_seconds)
+        return self.run

@@ -1,0 +1,47 @@
+"""Workload registry and top-level runner (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.graphchi import (AlternatingLeastSquares,
+                                      ConnectedComponents, PageRank)
+from repro.workloads.mutator import WorkloadRun
+from repro.workloads.spark import (BayesianClassifier, KMeansClustering,
+                                   LogisticRegression)
+
+_WORKLOADS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (BayesianClassifier, KMeansClustering, LogisticRegression,
+                ConnectedComponents, PageRank, AlternatingLeastSquares)
+}
+
+WORKLOAD_NAMES = tuple(_WORKLOADS)
+
+#: Table 3 abbreviations used in the paper's figures.
+WORKLOAD_ABBREV = {
+    "spark-bs": "BS",
+    "spark-km": "KM",
+    "spark-lr": "LR",
+    "graphchi-cc": "CC",
+    "graphchi-pr": "PR",
+    "graphchi-als": "ALS",
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate the named workload."""
+    try:
+        return _WORKLOADS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(_WORKLOADS)}") from None
+
+
+def run_workload(name: str,
+                 heap_bytes: Optional[int] = None) -> WorkloadRun:
+    """Run a workload to completion; returns its traces and stats."""
+    return get_workload(name).run(heap_bytes=heap_bytes)

@@ -1,0 +1,91 @@
+"""R-MAT graph generation (Chakrabarti et al.), the paper's CC/PR input.
+
+The paper uses R-MAT scale 22 (~4M vertices); we generate the same
+distribution at a scale matched to the 1/256 heap scaling.  The
+recursive quadrant descent uses the GraphChallenge defaults
+(a, b, c, d) = (0.57, 0.19, 0.19, 0.05), yielding the usual skewed
+power-law-ish degree distribution that makes PageRank/CC traversal
+irregular.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import ConfigError
+
+
+def generate_rmat(scale: int, edge_factor: int = 6,
+                  a: float = 0.57, b: float = 0.19, c: float = 0.19,
+                  seed: int = 42,
+                  deduplicate: bool = True) -> List[Tuple[int, int]]:
+    """Generate ``edge_factor * 2**scale`` R-MAT edges.
+
+    Returns (src, dst) pairs over ``2**scale`` vertices; self-loops are
+    dropped and duplicates removed when ``deduplicate``.
+    """
+    if scale < 1 or scale > 26:
+        raise ConfigError("scale out of supported range")
+    if not 0 < a + b + c < 1:
+        raise ConfigError("quadrant probabilities must leave room for d")
+    rng = random.Random(seed)
+    n_vertices = 1 << scale
+    n_edges = edge_factor * n_vertices
+    edges: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    ab = a + b
+    abc = a + b + c
+    attempts = 0
+    while len(edges) < n_edges and attempts < n_edges * 4:
+        attempts += 1
+        src = dst = 0
+        for _ in range(scale):
+            r = rng.random()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < ab:
+                quadrant = (0, 1)
+            elif r < abc:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            src = (src << 1) | quadrant[0]
+            dst = (dst << 1) | quadrant[1]
+        if src == dst:
+            continue
+        key = (src, dst)
+        if deduplicate:
+            if key in seen:
+                continue
+            seen.add(key)
+        edges.append(key)
+    return edges
+
+
+def adjacency_lists(edges: List[Tuple[int, int]],
+                    n_vertices: int,
+                    max_degree: int = 64) -> Dict[int, List[int]]:
+    """Out-adjacency lists, capped at ``max_degree`` per vertex.
+
+    The cap bounds the worst hub objects so scaled heaps stay
+    proportionate; R-MAT hubs at full scale would dwarf the scaled
+    survivor spaces.
+    """
+    adjacency: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        if src >= n_vertices or dst >= n_vertices:
+            raise ConfigError("edge endpoint out of range")
+        neighbors = adjacency.setdefault(src, [])
+        if len(neighbors) < max_degree:
+            neighbors.append(dst)
+    return adjacency
+
+
+def degree_histogram(adjacency: Dict[int, List[int]]) -> Dict[int, int]:
+    """Degree -> vertex count (used by tests to sanity-check skew)."""
+    histogram: Dict[int, int] = {}
+    for neighbors in adjacency.values():
+        degree = len(neighbors)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram

@@ -1,0 +1,91 @@
+"""Shared fixtures: small heaps, tiny workloads, and platform kits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HeapConfig, SystemConfig, default_config
+from repro.heap.heap import JavaHeap
+from repro.heap.klass import standard_klass_table
+from repro.platform.factory import build_platform, build_vm
+from repro.workloads.base import workload_klasses
+from repro.workloads.graphchi import ConnectedComponents
+from repro.workloads.mutator import MutatorDriver
+from repro.workloads.spark import BayesianClassifier
+
+SMALL_HEAP_BYTES = 8 * 1024 * 1024
+
+
+def make_heap(heap_bytes: int = SMALL_HEAP_BYTES) -> JavaHeap:
+    """A fresh small heap with the workload klasses plus a Node class."""
+    heap = JavaHeap(HeapConfig(heap_bytes=heap_bytes),
+                    klasses=workload_klasses())
+    heap.klasses.define_instance("Node", ref_fields=2, prim_fields=2)
+    return heap
+
+
+@pytest.fixture
+def heap() -> JavaHeap:
+    return make_heap()
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return default_config().with_heap_bytes(SMALL_HEAP_BYTES)
+
+
+@pytest.fixture
+def driver(heap) -> MutatorDriver:
+    return MutatorDriver(heap, run_name="test")
+
+
+class TinySpark(BayesianClassifier):
+    """A shrunken Spark workload for fast integration tests."""
+
+    name = "spark-bs"
+    iterations = 6
+    cached_partitions = 12
+    partition_bytes = 64 * 1024
+    batches_per_iteration = 12
+    batch_bytes = 64 * 1024
+    records_per_iteration = 800
+    cache_replacements = 3
+
+    @property
+    def default_heap_bytes(self) -> int:
+        return SMALL_HEAP_BYTES
+
+
+class TinyGraph(ConnectedComponents):
+    """A shrunken GraphChi workload for fast integration tests."""
+
+    name = "graphchi-cc"
+    rmat_scale = 9
+    edge_factor = 8
+    iterations = 14
+    shards = 2
+    shard_buffer_bytes = 128 * 1024
+    edge_chunks_per_shard = 6
+    edge_chunk_bytes = 16 * 1024
+    messages_per_shard = 384
+
+    @property
+    def default_heap_bytes(self) -> int:
+        return SMALL_HEAP_BYTES
+
+
+@pytest.fixture(scope="session")
+def tiny_spark_run():
+    return TinySpark().run()
+
+
+@pytest.fixture(scope="session")
+def tiny_graph_run():
+    return TinyGraph().run()
+
+
+def platform_for(name: str, heap_bytes: int = SMALL_HEAP_BYTES):
+    """(platform, heap, config) triple for a named platform."""
+    cfg = default_config().with_heap_bytes(heap_bytes)
+    heap = JavaHeap(cfg.heap, klasses=workload_klasses())
+    return build_platform(name, cfg, heap), heap, cfg

@@ -1,0 +1,131 @@
+"""Tests for the system configuration (Table 2 encoding)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (CostModelConfig, HeapConfig, SystemConfig,
+                          default_config, scaled_heap_bytes,
+                          PAPER_HEAP_SCALE)
+from repro.errors import ConfigError
+
+
+class TestTable2Values:
+    def test_host(self):
+        config = default_config()
+        assert config.host.num_cores == 8
+        assert config.host.freq_hz == pytest.approx(2.67e9)
+        assert config.host.instruction_window == 36
+        assert config.host.rob_entries == 128
+        assert config.host.issue_width == 4
+
+    def test_caches(self):
+        caches = default_config().caches
+        assert caches.l1d.size_bytes == 32 * 1024
+        assert caches.l2.size_bytes == 256 * 1024
+        assert caches.l3.size_bytes == 8 * 1024 * 1024
+
+    def test_ddr4(self):
+        ddr4 = default_config().ddr4
+        assert ddr4.channels == 2
+        assert ddr4.total_bandwidth == pytest.approx(34e9)
+        assert ddr4.energy_pj_per_bit == 35.0
+        assert ddr4.tck_s == pytest.approx(0.937e-9)
+
+    def test_hmc(self):
+        hmc = default_config().hmc
+        assert hmc.cubes == 4
+        assert hmc.vaults_per_cube == 32
+        assert hmc.internal_bandwidth_per_cube == pytest.approx(320e9)
+        assert hmc.link_bandwidth == pytest.approx(80e9)
+        assert hmc.link_latency_s == pytest.approx(3e-9)
+        assert hmc.energy_pj_per_bit == 21.0
+
+    def test_charon_units(self):
+        charon = default_config().charon
+        assert charon.copy_search_units == 8
+        assert charon.bitmap_count_units == 8
+        assert charon.scan_push_units == 8
+        assert charon.bitmap_cache_bytes == 8 * 1024
+        assert charon.bitmap_cache_ways == 8
+        assert charon.bitmap_cache_line == 32
+        assert charon.mai_entries_per_cube == 32
+        assert charon.request_packet_bytes == 48
+        assert charon.response_packet_bytes == 32
+        assert charon.response_packet_bytes_noval == 16
+
+    def test_heap_defaults(self):
+        heap = HeapConfig(heap_bytes=24 << 20)
+        assert heap.young_bytes == pytest.approx(8 << 20, rel=0.01)
+        assert heap.old_bytes == pytest.approx(16 << 20, rel=0.01)
+
+
+class TestValidation:
+    def test_default_valid(self):
+        default_config().validate()
+
+    def test_bad_threads(self):
+        config = dataclasses.replace(default_config(), gc_threads=0)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_tiny_heap_rejected(self):
+        with pytest.raises(ConfigError):
+            default_config().with_heap_bytes(32 * 1024).validate()
+
+    def test_bad_hit_fraction(self):
+        costs = dataclasses.replace(CostModelConfig(),
+                                    copy_hit_fraction=1.5)
+        config = dataclasses.replace(default_config(), costs=costs)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+
+class TestDerivedConfigs:
+    def test_with_heap_bytes(self):
+        config = default_config().with_heap_bytes(64 << 20)
+        assert config.heap.heap_bytes == 64 << 20
+        assert default_config().heap.heap_bytes != 64 << 20
+
+    def test_with_gc_threads(self):
+        assert default_config().with_gc_threads(4).gc_threads == 4
+
+    def test_with_distributed(self):
+        config = default_config().with_distributed_charon(True)
+        assert config.charon.distributed
+
+    def test_scaled_units(self):
+        config = default_config().scaled_charon_units(2.0)
+        assert config.charon.copy_search_units == 16
+        assert config.charon.scan_push_units == 16
+
+    def test_scaled_units_floor(self):
+        config = default_config().scaled_charon_units(0.01)
+        assert config.charon.copy_search_units >= config.hmc.cubes
+        assert config.charon.scan_push_units >= 1
+
+    def test_scaled_heap_bytes(self):
+        assert scaled_heap_bytes("spark-bs") == \
+            (10 << 30) // PAPER_HEAP_SCALE
+
+    def test_scaled_heap_unknown(self):
+        with pytest.raises(ConfigError):
+            scaled_heap_bytes("nope")
+
+    def test_with_bitmap_cache(self):
+        config = default_config().with_bitmap_cache(False)
+        assert not config.charon.bitmap_cache_enabled
+        assert default_config().charon.bitmap_cache_enabled
+
+    def test_with_scan_push_local(self):
+        assert default_config().with_scan_push_local(True) \
+            .charon.scan_push_local
+
+    def test_with_dispatch_overhead(self):
+        config = default_config().with_dispatch_overhead(1e-7)
+        assert config.costs.charon_dispatch_overhead_s == 1e-7
+
+    def test_with_topology(self):
+        config = default_config().with_topology("fully-connected")
+        assert config.hmc.topology == "fully-connected"
+        assert default_config().hmc.topology == "star"

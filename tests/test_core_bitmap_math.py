@@ -1,0 +1,145 @@
+"""Tests for the Bitmap Count unit's datapath algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap_math import (popcount64, prepare_range,
+                                    streaming_live_words, words_for_bits)
+from repro.errors import ConfigError
+from repro.heap.mark_bitmap import MarkBitmaps
+
+BASE = 0x1000_0000
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount64(0) == 0
+
+    def test_all_ones(self):
+        assert popcount64((1 << 64) - 1) == 64
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            popcount64(1 << 64)
+        with pytest.raises(ConfigError):
+            popcount64(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_matches_bin_count(self, word):
+        assert popcount64(word) == bin(word).count("1")
+
+
+class TestWordsForBits:
+    def test_exact(self):
+        assert words_for_bits(64) == 1
+        assert words_for_bits(128) == 2
+
+    def test_rounds_up(self):
+        assert words_for_bits(1) == 1
+        assert words_for_bits(65) == 2
+
+    def test_zero(self):
+        assert words_for_bits(0) == 0
+
+
+class TestStreaming:
+    def test_single_pair(self):
+        # Object spanning bits 2..5: beg bit 2, end bit 5 -> 4 words.
+        beg = [1 << 2]
+        end = [1 << 5]
+        assert streaming_live_words(beg, end, 64) == 4
+
+    def test_single_bit_object(self):
+        beg = [1 << 3]
+        end = [1 << 3]
+        assert streaming_live_words(beg, end, 64) == 1
+
+    def test_multiple_pairs(self):
+        beg = [(1 << 0) | (1 << 10)]
+        end = [(1 << 4) | (1 << 12)]
+        assert streaming_live_words(beg, end, 64) == 5 + 3
+
+    def test_cross_word_borrow(self):
+        # Object from bit 60 to bit 70: subtraction borrows across the
+        # 64-bit word boundary -- the datapath's borrow flip-flop.
+        beg = [1 << 60, 0]
+        end = [0, 1 << 6]
+        assert streaming_live_words(beg, end, 128) == 11
+
+    def test_inside_at_start(self):
+        # Range begins mid-object: only the end bit is visible.
+        beg = [0]
+        end = [1 << 7]
+        assert streaming_live_words(beg, end, 64,
+                                    inside_at_start=True) == 8
+
+    def test_object_past_range_end(self):
+        # Begin bit with no end: the object extends past the range.
+        beg = [1 << 2]
+        end = [0]
+        assert streaming_live_words(beg, end, 16) == 14
+
+    def test_unmatched_end_without_inside_rejected(self):
+        with pytest.raises(ConfigError):
+            streaming_live_words([0], [1 << 5], 64)
+
+    def test_empty_range(self):
+        assert streaming_live_words([], [], 0) == 0
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            streaming_live_words([0, 0], [0], 128)
+
+    def test_tail_bits_masked(self):
+        # Bits beyond num_bits must be ignored.
+        beg = [(1 << 2) | (1 << 40)]
+        end = [(1 << 5) | (1 << 50)]
+        assert streaming_live_words(beg, end, 16) == 4
+
+
+class TestPrepareRange:
+    def test_virtual_begin(self):
+        beg, end = prepare_range([0], [1 << 5], 64, inside_at_start=True)
+        assert beg[0] & 1
+
+    def test_virtual_end(self):
+        beg, end = prepare_range([1 << 5], [0], 64,
+                                 inside_at_start=False)
+        assert end[0] >> 63
+
+
+class TestAgainstBitmaps:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_streaming_matches_naive(self, data):
+        """Property: the hardware word-serial datapath, the big-int
+        fast path, and the Fig. 8 naive walk all agree on arbitrary
+        layouts and boundary-spanning ranges."""
+        size_words = 320
+        bitmaps = MarkBitmaps(BASE, BASE + size_words * 8)
+        cursor = 0
+        while cursor < size_words - 2:
+            gap = data.draw(st.integers(min_value=0, max_value=10))
+            length = data.draw(st.integers(min_value=1, max_value=80))
+            start = cursor + gap
+            if start + length > size_words:
+                break
+            bitmaps.mark_object(BASE + start * 8, length * 8)
+            cursor = start + length
+        lo = data.draw(st.integers(min_value=0, max_value=size_words - 1))
+        hi = data.draw(st.integers(min_value=lo + 1,
+                                   max_value=size_words))
+        lo_addr, hi_addr = BASE + lo * 8, BASE + hi * 8
+
+        beg_int, end_int, num_bits = bitmaps.range_bits(lo_addr, hi_addr)
+        n_words = words_for_bits(num_bits)
+        mask = (1 << 64) - 1
+        beg_words = [(beg_int >> (64 * i)) & mask for i in range(n_words)]
+        end_words = [(end_int >> (64 * i)) & mask for i in range(n_words)]
+        inside = bitmaps.inside_object(lo_addr)
+
+        streamed = streaming_live_words(beg_words, end_words, num_bits,
+                                        inside_at_start=inside)
+        naive = bitmaps.naive_live_words_in_range(lo_addr, hi_addr)
+        fast = bitmaps.live_words_in_range_fast(lo_addr, hi_addr)
+        assert streamed == naive == fast

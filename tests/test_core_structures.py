@@ -1,0 +1,271 @@
+"""Tests for packets, MAI, command queues, TLB, and bitmap cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap_cache import BitmapCache, BitmapCacheComplex
+from repro.core.command_queue import BoundedQueue, CubeCommandQueues
+from repro.core.mai import MemoryAccessInterface
+from repro.core.packets import (OffloadRequest, OffloadResponse,
+                                REQUEST_BYTES, RESPONSE_BYTES_NOVALUE,
+                                RESPONSE_BYTES_VALUE)
+from repro.core.tlb import AcceleratorTLB, TLBComplex
+from repro.errors import DeviceBusyError, PacketError, ProtectionFault
+from repro.gcalgo.trace import Primitive
+from repro.mem.vm import VirtualMemory
+
+MB = 1 << 20
+BASE = 0x1000_0000
+
+
+class TestPackets:
+    def test_request_is_48_bytes(self):
+        request = OffloadRequest(Primitive.COPY, 1, 0x100, 0x200, 64)
+        assert len(request.encode()) == REQUEST_BYTES == 48
+
+    def test_request_roundtrip(self):
+        request = OffloadRequest(Primitive.SCAN_PUSH, 3, 0xABC0,
+                                 0xDEF0, arg=(7 << 16) | 5, pcid=2)
+        assert OffloadRequest.decode(request.encode()) == request
+
+    def test_request_validation(self):
+        with pytest.raises(PacketError):
+            OffloadRequest(Primitive.COPY, 300, 0, 0)
+        with pytest.raises(PacketError):
+            OffloadRequest(Primitive.COPY, 0, 0, 0, arg=1 << 124)
+        with pytest.raises(PacketError):
+            OffloadRequest(Primitive.COPY, 0, -1, 0)
+
+    def test_bad_magic_rejected(self):
+        packet = bytearray(OffloadRequest(Primitive.COPY, 0, 0, 0)
+                           .encode())
+        packet[0] ^= 0xFF
+        with pytest.raises(PacketError):
+            OffloadRequest.decode(bytes(packet))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(PacketError):
+            OffloadRequest.decode(b"\x00" * 47)
+
+    def test_response_sizes(self):
+        with_value = OffloadResponse(1, has_value=True, value=42)
+        without = OffloadResponse(1, has_value=False)
+        assert len(with_value.encode()) == RESPONSE_BYTES_VALUE == 32
+        assert len(without.encode()) == RESPONSE_BYTES_NOVALUE == 16
+
+    def test_response_roundtrip(self):
+        response = OffloadResponse(2, has_value=True, value=12345)
+        assert OffloadResponse.decode(response.encode()) == response
+
+    def test_response_novalue_roundtrip(self):
+        response = OffloadResponse(0, has_value=False)
+        assert OffloadResponse.decode(response.encode()) == response
+
+    @given(st.sampled_from(list(Primitive)),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 124) - 1))
+    @settings(max_examples=50)
+    def test_request_roundtrip_property(self, prim, cube, src, dst, arg):
+        request = OffloadRequest(prim, cube, src, dst, arg)
+        assert OffloadRequest.decode(request.encode()) == request
+
+
+class TestMAI:
+    def test_issue_and_complete(self):
+        mai = MemoryAccessInterface(0, entries=4)
+        tag = mai.issue(unit_id=7, addr=0x100, metadata="m")
+        entry = mai.complete(tag)
+        assert entry.unit_id == 7
+        assert entry.metadata == "m"
+
+    def test_full_buffer_stalls(self):
+        mai = MemoryAccessInterface(0, entries=2)
+        mai.issue(0, 0)
+        mai.issue(0, 8)
+        with pytest.raises(DeviceBusyError):
+            mai.issue(0, 16)
+        assert mai.full_stalls == 1
+
+    def test_tags_recycle(self):
+        mai = MemoryAccessInterface(0, entries=1)
+        tag = mai.issue(0, 0)
+        mai.complete(tag)
+        assert mai.issue(0, 8) == tag
+
+    def test_unknown_tag_rejected(self):
+        mai = MemoryAccessInterface(0, entries=2)
+        with pytest.raises(DeviceBusyError):
+            mai.complete(0)
+
+    def test_high_water_tracking(self):
+        mai = MemoryAccessInterface(0, entries=8)
+        tags = [mai.issue(0, i * 8) for i in range(5)]
+        for tag in tags:
+            mai.complete(tag)
+        assert mai.max_in_flight == 5
+        assert mai.in_flight == 0
+
+    def test_effective_mlp(self):
+        assert MemoryAccessInterface(0, 32).effective_mlp() == 32
+
+
+class TestCommandQueues:
+    def test_bounded_queue_fifo(self):
+        queue = BoundedQueue("q", depth=3)
+        queue.push("a")
+        queue.push("b")
+        assert queue.pop() == "a"
+
+    def test_overflow_rejected(self):
+        queue = BoundedQueue("q", depth=1)
+        queue.push(1)
+        with pytest.raises(DeviceBusyError):
+            queue.push(2)
+        assert queue.rejections == 1
+
+    def test_empty_pop_rejected(self):
+        with pytest.raises(DeviceBusyError):
+            BoundedQueue("q", 1).pop()
+
+    def test_occupancy_stats(self):
+        queue = BoundedQueue("q", depth=4)
+        for value in range(3):
+            queue.push(value)
+        assert queue.max_occupancy == 3
+        assert not queue.is_full
+
+    def test_cube_routing(self):
+        queues = CubeCommandQueues(cube=0, depth=4)
+        request = OffloadRequest(Primitive.SEARCH, 0, 0, 0)
+        queues.ingress.push(request)
+        routed = queues.route()
+        assert routed is Primitive.SEARCH
+        assert len(queues.per_primitive[Primitive.SEARCH]) == 1
+
+    def test_route_empty(self):
+        queues = CubeCommandQueues(cube=1, depth=4)
+        assert queues.route() is None
+
+
+def make_vm():
+    vm = VirtualMemory(huge_page_bytes=MB, cubes=4)
+    vm.map_heap(BASE, 8 * MB)
+    vm.map_pinned(BASE + 8 * MB, 64 * 1024, 16 * 1024)
+    return vm
+
+
+class TestAcceleratorTLB:
+    def test_load_and_lookup(self):
+        vm = make_vm()
+        tlb = AcceleratorTLB("t", home_cube=0, link_latency_s=3e-9)
+        loaded = tlb.load_from(vm)
+        assert loaded == vm.pinned_page_count()
+        cube, done = tlb.lookup(0.0, BASE + MB + 5, 0, from_cube=0)
+        assert cube == 1
+        assert done > 0
+
+    def test_mixed_page_sizes_resolve(self):
+        vm = make_vm()
+        tlb = AcceleratorTLB("t", 0, 3e-9)
+        tlb.load_from(vm)
+        cube, _ = tlb.lookup(0.0, BASE + 8 * MB + 16 * 1024, 0, 0)
+        assert cube == vm.cube_of(BASE + 8 * MB + 16 * 1024)
+
+    def test_unloaded_faults(self):
+        tlb = AcceleratorTLB("t", 0, 3e-9)
+        with pytest.raises(ProtectionFault):
+            tlb.lookup(0.0, BASE, 0, 0)
+
+    def test_unmapped_faults(self):
+        vm = make_vm()
+        tlb = AcceleratorTLB("t", 0, 3e-9)
+        tlb.load_from(vm)
+        with pytest.raises(ProtectionFault):
+            tlb.lookup(0.0, 0x9000_0000, 0, 0)
+
+    def test_remote_lookup_pays_link(self):
+        vm = make_vm()
+        tlb = AcceleratorTLB("t", home_cube=0, link_latency_s=3e-9)
+        tlb.load_from(vm)
+        _, local = tlb.lookup(0.0, BASE, 0, from_cube=0)
+        _, remote = tlb.lookup(0.0, BASE, 0, from_cube=2)
+        assert remote > local
+        assert tlb.remote_lookups == 1
+
+    def test_unified_complex_single_slice(self):
+        vm = make_vm()
+        complex_ = TLBComplex(4, 0, 3e-9, distributed=False)
+        complex_.load_from(vm)
+        assert len(complex_.slices) == 1
+        cube, _ = complex_.lookup(0.0, BASE + 2 * MB, 0, from_cube=3)
+        assert cube == 2
+
+    def test_distributed_complex_slices_per_cube(self):
+        vm = make_vm()
+        complex_ = TLBComplex(4, 0, 3e-9, distributed=True)
+        complex_.load_from(vm)
+        assert len(complex_.slices) == 4
+        cube, _ = complex_.lookup(0.0, BASE + 3 * MB, 0, from_cube=3,
+                                  target_cube_hint=3)
+        assert cube == 3
+
+    def test_distributed_resolves_without_hint(self):
+        vm = make_vm()
+        complex_ = TLBComplex(4, 0, 3e-9, distributed=True)
+        complex_.load_from(vm)
+        cube, _ = complex_.lookup(0.0, BASE + MB, 0, from_cube=0)
+        assert cube == 1
+
+
+class TestBitmapCache:
+    def make(self, home=0):
+        return BitmapCache("bc", home_cube=home, size_bytes=8 * 1024,
+                           ways=8, line_bytes=32, link_latency_s=3e-9,
+                           memory_latency_s=34e-9)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        hit1, t1 = cache.access(0.0, 0x100, False, from_cube=0)
+        hit2, t2 = cache.access(t1, 0x100, False, from_cube=0)
+        assert (hit1, hit2) == (False, True)
+        assert t2 - t1 < t1  # hit is cheaper than the miss
+
+    def test_remote_access_pays_link(self):
+        cache = self.make()
+        _, local = cache.access(0.0, 0x100, False, from_cube=0)
+        cache2 = self.make()
+        _, remote = cache2.access(0.0, 0x100, False, from_cube=2)
+        assert remote > local
+
+    def test_flush_writes_back_dirty(self):
+        cache = self.make()
+        cache.access(0.0, 0x100, True, from_cube=0)
+        cache.access(0.0, 0x200, False, from_cube=0)
+        assert cache.flush() == 1
+        assert cache.flushes == 1
+
+    def test_complex_unified_vs_distributed(self):
+        unified = BitmapCacheComplex(4, 0, 8192, 8, 32, 3e-9, 34e-9,
+                                     distributed=False)
+        distributed = BitmapCacheComplex(4, 0, 8192, 8, 32, 3e-9, 34e-9,
+                                         distributed=True)
+        assert len(unified.slices) == 1
+        assert len(distributed.slices) == 4
+        assert distributed.slice_for(2).home_cube == 2
+        assert unified.slice_for(2).home_cube == 0
+
+    def test_complex_hit_rate(self):
+        complex_ = BitmapCacheComplex(4, 0, 8192, 8, 32, 3e-9, 34e-9,
+                                      distributed=False)
+        complex_.access(0.0, 0x100, False, 0, 0)
+        complex_.access(0.0, 0x100, False, 0, 0)
+        assert complex_.hit_rate == pytest.approx(0.5)
+
+    def test_flush_all(self):
+        complex_ = BitmapCacheComplex(2, 0, 8192, 8, 32, 3e-9, 34e-9,
+                                      distributed=True)
+        complex_.access(0.0, 0x100, True, 0, 0)
+        complex_.access(0.0, 0x100, True, 1, 1)
+        assert complex_.flush_all() == 2

@@ -1,0 +1,162 @@
+"""Tests for the host CPU models: cache, core, processor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CostModelConfig, HostCoreConfig
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import CoreModel
+from repro.cpu.host import HostProcessor
+from repro.errors import ConfigError
+
+
+class TestSetAssociativeCache:
+    def make(self, size=1024, ways=2, line=32):
+        return SetAssociativeCache(size, ways, line)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_hits(self):
+        cache = self.make(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11F) is True
+        assert cache.access(0x120) is False
+
+    def test_lru_eviction(self):
+        cache = self.make(size=128, ways=2, line=32)  # 2 sets
+        sets = cache.num_sets
+        line = cache.line_bytes
+        # Three lines mapping to set 0.
+        a, b, c = (0, sets * line, 2 * sets * line)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a most recent
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_writeback_counted(self):
+        cache = self.make(size=128, ways=1, line=32)
+        sets = cache.num_sets
+        cache.access(0, is_write=True)
+        cache.access(sets * 32)  # evicts dirty line
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = self.make(size=128, ways=1, line=32)
+        sets = cache.num_sets
+        cache.access(0)
+        cache.access(sets * 32)
+        assert cache.writebacks == 0
+
+    def test_flush_returns_dirty_count(self):
+        cache = self.make()
+        cache.access(0x100, is_write=True)
+        cache.access(0x200)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+    def test_hit_rate(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_contains_no_lru_update(self):
+        cache = self.make(size=64, ways=1, line=32)
+        cache.access(0)
+        assert cache.contains(0)
+        assert cache.hits == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(100, 3, 32)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(0, 1, 32)
+
+    def test_reset_stats(self):
+        cache = self.make()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.misses == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=4095),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_bounded(self, addrs):
+        cache = SetAssociativeCache(512, 4, 32)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.resident_lines <= 512 // 32
+        assert cache.hits + cache.misses == len(addrs)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_small_working_set_all_hits_after_warmup(self, addrs):
+        # A working set within one line always hits after the first
+        # access.
+        cache = SetAssociativeCache(1024, 4, 256)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.misses == 1
+
+
+class TestCoreModel:
+    def make(self):
+        return CoreModel(HostCoreConfig(), CostModelConfig())
+
+    def test_mlp_bounded_by_mshrs(self):
+        core = self.make()
+        assert core.mlp <= HostCoreConfig().mshrs_per_core
+
+    def test_mlp_bounded_by_window(self):
+        config = HostCoreConfig(instruction_window=9, mshrs_per_core=100)
+        core = CoreModel(config, CostModelConfig())
+        assert core.mlp == pytest.approx(3.0)
+
+    def test_compute_seconds_ipc(self):
+        core = self.make()
+        seconds = core.compute_seconds(1335.0)
+        # 1335 instructions at IPC 0.5 and 2.67 GHz = 1 us.
+        assert seconds == pytest.approx(1e-6)
+
+    def test_hits_add_service(self):
+        core = self.make()
+        base = core.compute_seconds(100.0)
+        with_hits = core.compute_seconds(100.0, cache_hits=40.0)
+        assert with_hits > base
+
+    def test_primitive_roofline(self):
+        core = self.make()
+        compute_bound = core.primitive_seconds(10_000.0, 0.0, 1e-9)
+        assert compute_bound == core.compute_seconds(10_000.0)
+        memory_bound = core.primitive_seconds(1.0, 0.0, 1e-3)
+        assert memory_bound == 1e-3
+
+
+class TestHostProcessor:
+    def test_defaults(self):
+        host = HostProcessor()
+        assert host.num_cores == 8
+        assert host.freq_hz == pytest.approx(2.67e9)
+
+    def test_aggregate_mlp_caps_at_cores(self):
+        host = HostProcessor()
+        assert host.aggregate_mlp(16) == host.aggregate_mlp(8)
+        assert host.aggregate_mlp(2) == pytest.approx(
+            2 * host.per_core_mlp())
+
+    def test_llc_flush_time(self):
+        host = HostProcessor()
+        seconds = host.llc_flush_seconds(80e9)
+        assert seconds == pytest.approx(8 * 1024 * 1024 / 80e9)
+
+    def test_clflush_probe_cost_linear(self):
+        host = HostProcessor()
+        assert host.clflush_probe_seconds(100) == pytest.approx(
+            10 * host.clflush_probe_seconds(10))

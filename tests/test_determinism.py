@@ -1,0 +1,57 @@
+"""Determinism: identical inputs must reproduce identical outputs.
+
+A reproduction's results have to be exactly repeatable — the workloads
+use fixed seeds, the engine breaks ties deterministically, and the
+replayer holds no hidden state across fresh platform instances.
+"""
+
+import pytest
+
+from repro.gcalgo.trace_io import trace_to_dict
+from repro.platform import TraceReplayer
+from repro.workloads import run_workload
+
+from tests.conftest import TinySpark, platform_for
+
+
+class TestWorkloadDeterminism:
+    def test_same_run_twice_identical_traces(self):
+        first = TinySpark().run()
+        second = TinySpark().run()
+        assert first.minor_count == second.minor_count
+        assert first.allocated_bytes == second.allocated_bytes
+        for a, b in zip(first.traces, second.traces):
+            assert trace_to_dict(a) == trace_to_dict(b)
+
+    def test_rmat_workload_deterministic(self):
+        first = run_workload("graphchi-als")
+        second = run_workload("graphchi-als")
+        assert [t.summary() for t in first.traces] == \
+            [t.summary() for t in second.traces]
+
+
+class TestReplayDeterminism:
+    def test_fresh_platforms_identical_results(self):
+        run = TinySpark().run()
+        results = []
+        for _ in range(2):
+            platform, _, _ = platform_for("charon")
+            results.append(TraceReplayer(platform).replay_all(
+                run.traces))
+        a, b = results
+        assert a.wall_seconds == pytest.approx(b.wall_seconds, rel=0,
+                                               abs=0)
+        assert a.dram_bytes == b.dram_bytes
+        assert a.energy.total_j == pytest.approx(b.energy.total_j,
+                                                 rel=0, abs=0)
+        assert a.primitive_seconds == b.primitive_seconds
+
+    def test_all_platforms_deterministic(self):
+        run = TinySpark().run()
+        for name in ("cpu-ddr4", "cpu-hmc", "ideal"):
+            walls = set()
+            for _ in range(2):
+                platform, _, _ = platform_for(name)
+                walls.add(TraceReplayer(platform)
+                          .replay_all(run.traces).wall_seconds)
+            assert len(walls) == 1

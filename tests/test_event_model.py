@@ -1,0 +1,66 @@
+"""Cross-validation: event-driven Copy unit vs the fluid-flow model."""
+
+import pytest
+
+from repro.core.units.event_model import EventDrivenCopyUnit
+
+
+class TestEventDrivenCopy:
+    def test_all_chunks_processed(self):
+        unit = EventDrivenCopyUnit()
+        result = unit.simulate(64 * 1024)
+        assert result.reads_issued == 64 * 1024 // 256
+        assert result.writes_issued == result.reads_issued
+
+    def test_mai_window_respected(self):
+        unit = EventDrivenCopyUnit(mai_entries=8)
+        result = unit.simulate(64 * 1024)
+        assert result.max_mai_in_flight <= 8
+
+    def test_stalls_appear_when_window_small(self):
+        tight = EventDrivenCopyUnit(mai_entries=4).simulate(64 * 1024)
+        roomy = EventDrivenCopyUnit(mai_entries=64).simulate(64 * 1024)
+        assert tight.issue_stall_cycles > roomy.issue_stall_cycles
+        assert tight.seconds > roomy.seconds
+
+    def test_bandwidth_approaches_tsv_limit(self):
+        unit = EventDrivenCopyUnit()
+        result = unit.simulate(1 << 20)
+        # Within 5% of the 320 GB/s internal bandwidth.
+        assert result.effective_bandwidth > 0.9 * 320e9
+
+    def test_latency_bound_when_window_tiny(self):
+        unit = EventDrivenCopyUnit(mai_entries=1)
+        result = unit.simulate(16 * 256)
+        # One outstanding read at a time: every chunk pays the latency.
+        assert result.seconds >= 16 * unit.access_latency_s
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("size,tolerance", [
+        (16 * 1024, 0.30),
+        (128 * 1024, 0.15),
+        (1 << 20, 0.05),
+    ])
+    def test_fluid_matches_event_driven(self, size, tolerance):
+        """The fast model must agree with the cycle-stepped one; the
+        tolerance tightens as streaming amortises the start-up offset.
+        This agreement is what licenses using the fluid model in every
+        replay."""
+        unit = EventDrivenCopyUnit()
+        event = unit.simulate(size).seconds
+        fluid = unit.fluid_estimate(size)
+        assert fluid == pytest.approx(event, rel=tolerance)
+
+    def test_models_agree_on_mai_sensitivity(self):
+        """Halving the window hurts both models in the same direction."""
+        wide = EventDrivenCopyUnit(mai_entries=32)
+        narrow = EventDrivenCopyUnit(mai_entries=8)
+        size = 256 * 1024
+        event_ratio = narrow.simulate(size).seconds \
+            / wide.simulate(size).seconds
+        fluid_ratio = narrow.fluid_estimate(size) \
+            / wide.fluid_estimate(size)
+        assert event_ratio > 1.5
+        assert fluid_ratio > 1.5
+        assert event_ratio == pytest.approx(fluid_ratio, rel=0.35)

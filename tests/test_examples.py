@@ -1,0 +1,33 @@
+"""The fast examples must stay runnable end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "linked list intact"),
+    ("custom_collector.py", "mark-sweep"),
+    ("offload_anatomy.py", "offload request packet"),
+    ("g1_regional_gc.py", "primitive mix"),
+]
+
+
+@pytest.mark.parametrize("script,marker", FAST_EXAMPLES)
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert marker in result.stdout
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert '__name__ == "__main__"' in text, (
+            f"{script.name} lacks a main guard")

@@ -1,0 +1,159 @@
+"""Tests for the mark-sweep collector, work stack, and trace records."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gcalgo.mark_sweep import MarkSweepGC
+from repro.gcalgo.stack import ObjectStack
+from repro.gcalgo.trace import (ARRAY_SCAN_CHUNK, GCTrace, Primitive,
+                                TraceEvent, chunk_refs)
+
+from tests.conftest import make_heap
+
+
+class TestMarkSweep:
+    def test_sweep_reclaims_dead(self, heap):
+        live = heap.new_object("Node", space=heap.layout.old)
+        heap.new_object("typeArray", length=4096,
+                        space=heap.layout.old)  # dead
+        heap.roots.append(live.addr)
+        collector = MarkSweepGC(heap)
+        trace = collector.collect()
+        assert trace.kind == "sweep"
+        assert trace.bytes_freed >= 4096
+        assert collector.free_bytes == trace.bytes_freed
+
+    def test_objects_do_not_move(self, heap):
+        live = heap.new_object("Node", space=heap.layout.old)
+        heap.roots.append(live.addr)
+        MarkSweepGC(heap).collect()
+        assert heap.roots[-1] == live.addr
+
+    def test_no_bitmap_count_no_copy(self, heap):
+        """Table 1: CMS never compacts, so neither Bitmap Count nor
+        Copy appears in its old-generation traces."""
+        for index in range(40):
+            view = heap.new_object("Node", space=heap.layout.old)
+            if index % 2:
+                heap.roots.append(view.addr)
+        trace = MarkSweepGC(heap).collect()
+        assert trace.count(Primitive.BITMAP_COUNT) == 0
+        assert trace.count(Primitive.COPY) == 0
+        assert trace.count(Primitive.SCAN_PUSH) > 0
+
+    def test_free_list_coalesced(self, heap):
+        keep = heap.new_object("Node", space=heap.layout.old)
+        for _ in range(5):
+            heap.new_object("Node", space=heap.layout.old)
+        keep2 = heap.new_object("Node", space=heap.layout.old)
+        heap.roots.extend([keep.addr, keep2.addr])
+        collector = MarkSweepGC(heap)
+        collector.collect()
+        # The five adjacent dead nodes coalesce into one chunk.
+        assert len(collector.free_list) == 1
+
+    def test_space_parseable_after_sweep(self, heap):
+        for index in range(30):
+            view = heap.new_object("Node", space=heap.layout.old)
+            if index % 3 == 0:
+                heap.roots.append(view.addr)
+        MarkSweepGC(heap).collect()
+        sizes = sum(v.size_bytes
+                    for v in heap.iterate_space(heap.layout.old))
+        assert sizes == heap.layout.old.used
+
+    def test_repeated_sweeps_stable(self, heap):
+        live = heap.new_object("Node", space=heap.layout.old)
+        heap.new_object("Node", space=heap.layout.old)
+        heap.roots.append(live.addr)
+        first = MarkSweepGC(heap)
+        first.collect()
+        second = MarkSweepGC(heap)
+        second.collect()
+        # Nothing new died: the second sweep frees the same ranges
+        # (fillers are re-reclaimed idempotently).
+        assert second.free_bytes == first.free_bytes
+
+
+class TestObjectStack:
+    def test_lifo(self):
+        stack = ObjectStack()
+        stack.push(1)
+        stack.push(2)
+        assert stack.pop() == 2
+        assert stack.pop() == 1
+
+    def test_stats(self):
+        stack = ObjectStack()
+        for value in range(5):
+            stack.push(value)
+        stack.pop()
+        assert stack.pushes == 5
+        assert stack.pops == 1
+        assert stack.max_depth == 5
+
+    def test_truthiness(self):
+        stack = ObjectStack()
+        assert not stack
+        stack.push(1)
+        assert stack
+        assert len(stack) == 1
+
+
+class TestChunkRefs:
+    def test_small_single_chunk(self):
+        assert list(chunk_refs(10, 4)) == [(10, 4)]
+
+    def test_exact_boundary(self):
+        assert list(chunk_refs(ARRAY_SCAN_CHUNK, 7)) == \
+            [(ARRAY_SCAN_CHUNK, 7)]
+
+    def test_large_split(self):
+        chunks = list(chunk_refs(120, 60))
+        assert [refs for refs, _ in chunks] == [50, 50, 20]
+        assert sum(p for _, p in chunks) == 60
+
+    @given(st.integers(min_value=0, max_value=5000), st.data())
+    @settings(max_examples=100)
+    def test_conservation(self, refs, data):
+        pushes = data.draw(st.integers(min_value=0, max_value=refs))
+        chunks = list(chunk_refs(refs, pushes))
+        assert sum(r for r, _ in chunks) == refs
+        assert sum(p for _, p in chunks) == pushes
+        for chunk_r, chunk_p in chunks:
+            assert 0 <= chunk_p <= chunk_r <= ARRAY_SCAN_CHUNK or \
+                refs <= ARRAY_SCAN_CHUNK
+
+
+class TestGCTrace:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            GCTrace("weird")
+
+    def test_recording_and_summary(self):
+        trace = GCTrace("minor")
+        trace.copy("evacuate", 0x100, 0x200, 64)
+        trace.search("card-search", 0x300, 128, True)
+        trace.scan_push("evacuate", 0x100, 3, 2)
+        trace.bitmap_count("adjust", 0x400, 77)
+        trace.residual("drain", 100.0, 64)
+        summary = trace.summary()
+        assert summary["copy_events"] == 1
+        assert summary["copy_bytes"] == 64
+        assert summary["scan_refs"] == 3
+        assert summary["bitmap_bits"] == 77
+        assert summary["residual_instructions"] == 100.0
+
+    def test_events_of_filters(self):
+        trace = GCTrace("major")
+        trace.copy("compact", 0, 0, 8)
+        trace.bitmap_count("adjust", 0, 1)
+        assert trace.count(Primitive.COPY) == 1
+        assert trace.count(Primitive.SEARCH) == 0
+
+    def test_residual_accumulates(self):
+        trace = GCTrace("minor")
+        trace.residual("drain", 10.0, 8)
+        trace.residual("drain", 5.0, 8)
+        assert trace.residuals["drain"].instructions == 15.0
+        assert trace.residuals["drain"].bytes_accessed == 16

@@ -1,0 +1,259 @@
+"""Tests for the MinorGC scavenger."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.gcalgo.parallel_scavenge import MinorGC
+from repro.gcalgo.trace import Primitive
+
+from tests.conftest import make_heap
+
+
+def build_chain(heap, count, every=50):
+    """A linked chain of Nodes; returns root indices into heap.roots."""
+    prev = 0
+    for index in range(count):
+        view = heap.new_object("Node")
+        heap.set_field(view, 0, prev)
+        prev = view.addr
+    heap.roots.append(prev)
+    return prev
+
+
+def chain_length(heap, addr):
+    count = 0
+    while addr:
+        view = heap.object_at(addr)
+        addr = heap.get_field(view, 0)
+        count += 1
+    return count
+
+
+class TestScavengeBasics:
+    def test_empty_heap(self, heap):
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 0
+        assert trace.kind == "minor"
+
+    def test_reachable_objects_survive(self, heap):
+        build_chain(heap, 100)
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 100
+        assert chain_length(heap, heap.roots[-1]) == 100
+
+    def test_garbage_not_copied(self, heap):
+        build_chain(heap, 50)
+        for _ in range(200):
+            heap.new_object("Node")  # unreachable
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 50
+
+    def test_eden_empty_after_gc(self, heap):
+        build_chain(heap, 100)
+        MinorGC(heap).collect()
+        assert heap.layout.eden.used == 0
+
+    def test_survivors_in_to_space(self, heap):
+        build_chain(heap, 100)
+        MinorGC(heap).collect()
+        addr = heap.roots[-1]
+        assert heap.layout.survivor_from.contains(addr)
+
+    def test_roots_updated(self, heap):
+        old_addr = build_chain(heap, 10)
+        MinorGC(heap).collect()
+        assert heap.roots[-1] != old_addr
+
+    def test_null_roots_ignored(self, heap):
+        heap.roots.extend([0, 0])
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 0
+
+    def test_shared_object_copied_once(self, heap):
+        shared = heap.new_object("Node")
+        a = heap.new_object("Node")
+        b = heap.new_object("Node")
+        heap.set_field(a, 0, shared.addr)
+        heap.set_field(b, 0, shared.addr)
+        heap.roots.extend([a.addr, b.addr])
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 3
+        # Both updated to the same forwarded address.
+        new_a = heap.object_at(heap.roots[-2])
+        new_b = heap.object_at(heap.roots[-1])
+        assert heap.get_field(new_a, 0) == heap.get_field(new_b, 0)
+
+    def test_cycle_handled(self, heap):
+        a = heap.new_object("Node")
+        b = heap.new_object("Node")
+        heap.set_field(a, 0, b.addr)
+        heap.set_field(b, 0, a.addr)
+        heap.roots.append(a.addr)
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 2
+
+    def test_content_preserved(self, heap):
+        arr = heap.new_object("typeArray", length=128)
+        heap.write_payload(arr, bytes(range(128)))
+        holder = heap.new_object("Node")
+        heap.set_field(holder, 0, arr.addr)
+        heap.roots.append(holder.addr)
+        MinorGC(heap).collect()
+        new_holder = heap.object_at(heap.roots[-1])
+        new_arr = heap.object_at(heap.get_field(new_holder, 0))
+        assert heap.read_payload(new_arr) == bytes(range(128))
+
+
+class TestAgingAndPromotion:
+    def test_age_increments_per_survival(self, heap):
+        build_chain(heap, 5)
+        MinorGC(heap).collect()
+        mark = heap.mark_word(heap.roots[-1])
+        assert mark.age == 1
+        MinorGC(heap).collect()
+        assert heap.mark_word(heap.roots[-1]).age == 2
+
+    def test_promotion_at_threshold(self, heap):
+        build_chain(heap, 5)
+        threshold = heap.config.tenuring_threshold
+        for _ in range(threshold):
+            MinorGC(heap).collect()
+        assert heap.layout.in_old(heap.roots[-1])
+
+    def test_survivor_overflow_promotes_early(self, heap):
+        # One object larger than the survivor space promotes directly.
+        big = heap.layout.survivor_to.capacity + 1024
+        view = heap.new_object("typeArray", length=big)
+        heap.roots.append(view.addr)
+        trace = MinorGC(heap).collect()
+        assert trace.objects_promoted == 1
+        assert heap.layout.in_old(heap.roots[-1])
+
+    def test_promotion_safety_check(self, heap):
+        # Fill old until a worst-case promotion cannot be absorbed.
+        old = heap.layout.old
+        while old.free > heap.layout.eden.capacity // 2:
+            heap.new_object("typeArray", length=4096, space=old)
+        heap.new_object("typeArray",
+                        length=heap.layout.eden.capacity // 2)
+        gc = MinorGC(heap)
+        assert not gc.promotion_safe()
+        with pytest.raises(OutOfMemoryError):
+            gc.collect()
+
+
+class TestCardTableIntegration:
+    def test_old_to_young_kept_alive(self, heap):
+        young = heap.new_object("Node")
+        old = heap.new_object("Node", space=heap.layout.old)
+        heap.set_field(old, 0, young.addr)  # dirties card; no root
+        trace = MinorGC(heap).collect()
+        assert trace.objects_copied == 1
+        new_target = heap.get_field(heap.object_at(old.addr), 0)
+        assert heap.layout.in_young(new_target)
+
+    def test_card_redirtied_when_target_stays_young(self, heap):
+        young = heap.new_object("Node")
+        old = heap.new_object("Node", space=heap.layout.old)
+        heap.set_field(old, 0, young.addr)
+        MinorGC(heap).collect()
+        slot = old.reference_slots()[0]
+        assert heap.card_table.is_dirty(slot)
+
+    def test_card_cleaned_after_promotion(self, heap):
+        young = heap.new_object("Node")
+        old = heap.new_object("Node", space=heap.layout.old)
+        heap.set_field(old, 0, young.addr)
+        for _ in range(heap.config.tenuring_threshold):
+            MinorGC(heap).collect()
+        target = heap.get_field(heap.object_at(old.addr), 0)
+        assert heap.layout.in_old(target)
+        slot = old.reference_slots()[0]
+        assert not heap.card_table.is_dirty(slot)
+
+    def test_search_events_cover_card_table(self, heap):
+        build_chain(heap, 10)
+        trace = MinorGC(heap).collect()
+        searched = trace.search_bytes_total()
+        assert searched == heap.card_table.num_cards
+
+
+class TestTraceContents:
+    def test_copy_events_match_copied_objects(self, heap):
+        build_chain(heap, 42)
+        trace = MinorGC(heap).collect()
+        assert trace.count(Primitive.COPY) == 42
+        assert trace.copy_bytes_total() == trace.bytes_copied
+
+    def test_scan_push_only_for_ref_objects(self, heap):
+        arr = heap.new_object("typeArray", length=512)
+        heap.roots.append(arr.addr)
+        trace = MinorGC(heap).collect()
+        assert trace.count(Primitive.SCAN_PUSH) == 0
+        assert trace.count(Primitive.COPY) == 1
+
+    def test_large_array_scans_chunked(self, heap):
+        arr = heap.new_object("objArray", length=200)
+        heap.roots.append(arr.addr)
+        trace = MinorGC(heap).collect()
+        scans = list(trace.events_of(Primitive.SCAN_PUSH))
+        assert len(scans) == 4  # 200 refs in chunks of 50
+        assert sum(e.refs for e in scans) == 200
+
+    def test_residual_recorded(self, heap):
+        build_chain(heap, 10)
+        trace = MinorGC(heap).collect()
+        assert trace.residual_instructions_total() > 0
+        assert "drain" in trace.residuals
+
+
+class TestScavengeProperty:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graph_preserved(self, seed):
+        """Property: the reachable object graph (shape and payloads)
+        is identical before and after a scavenge."""
+        rng = random.Random(seed)
+        heap = make_heap()
+        views = []
+        for _ in range(rng.randint(5, 120)):
+            if rng.random() < 0.3:
+                view = heap.new_object("objArray",
+                                       length=rng.randint(1, 8))
+            else:
+                view = heap.new_object("Node")
+            views.append(view.addr)
+            slots = heap.object_at(view.addr).reference_slots()
+            for slot_index in range(len(slots)):
+                if views and rng.random() < 0.6:
+                    target = rng.choice(views)
+                    heap.store_ref(slots[slot_index], target)
+        root_count = max(1, len(views) // 10)
+        for addr in rng.sample(views, root_count):
+            heap.roots.append(addr)
+
+        def snapshot():
+            shapes = []
+            stack = [r for r in heap.roots if r]
+            seen = {}
+            order = []
+            while stack:
+                addr = stack.pop()
+                if addr in seen:
+                    continue
+                seen[addr] = len(seen)
+                order.append(addr)
+                view = heap.object_at(addr)
+                stack.extend(reversed(heap.references_of(view)))
+            for addr in order:
+                view = heap.object_at(addr)
+                refs = [seen.get(r) for r in heap.references_of(view)]
+                shapes.append((view.klass.name, view.length, refs))
+            return shapes
+
+        before = snapshot()
+        MinorGC(heap).collect()
+        assert snapshot() == before

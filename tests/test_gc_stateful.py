@@ -1,0 +1,179 @@
+"""Stateful property testing: arbitrary mutator/GC interleavings.
+
+A hypothesis rule machine drives the heap like a hostile mutator —
+allocating instances and arrays, wiring random references, adding and
+dropping roots, and firing minor/major collections at arbitrary points —
+while checking the heap's global invariants after every step:
+
+* the reachable graph (shapes, lengths, payload checksums) is exactly
+  preserved by every collection;
+* every space remains parseable (object sizes tile the used range);
+* objects never overlap and never straddle space boundaries;
+* every old-generation object holding a young reference sits on a
+  dirty card (the write-barrier/remembered-set invariant scavenges
+  rely on).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 rule)
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.gcalgo.mark_compact import MajorGC
+from repro.gcalgo.parallel_scavenge import MinorGC
+
+from tests.conftest import make_heap
+
+
+class HeapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.heap = make_heap()
+        self.gc_count = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _live_addrs(self):
+        stack = [root for root in self.heap.roots if root]
+        seen = set()
+        while stack:
+            addr = stack.pop()
+            if addr in seen:
+                continue
+            seen.add(addr)
+            view = self.heap.object_at(addr)
+            stack.extend(self.heap.references_of(view))
+        return seen
+
+    def _snapshot(self):
+        heap = self.heap
+        stack = [root for root in heap.roots if root]
+        seen = {}
+        order = []
+        while stack:
+            addr = stack.pop()
+            if addr in seen:
+                continue
+            seen[addr] = len(seen)
+            order.append(addr)
+            stack.extend(reversed(heap.references_of(
+                heap.object_at(addr))))
+        shapes = []
+        for addr in order:
+            view = heap.object_at(addr)
+            refs = [seen.get(r) for r in heap.references_of(view)]
+            payload = None
+            if view.klass.name == "typeArray":
+                payload = heap.read_payload(view)
+            shapes.append((view.klass.name, view.length, refs, payload))
+        return shapes
+
+    def _some_live(self, data_index):
+        live = sorted(self._live_addrs())
+        if not live:
+            return 0
+        return live[data_index % len(live)]
+
+    # -- rules --------------------------------------------------------------
+
+    @rule(kind=st.sampled_from(["Record", "Vertex", "Box"]),
+          link=st.integers(min_value=0, max_value=10**6),
+          rooted=st.booleans())
+    def allocate_instance(self, kind, link, rooted):
+        try:
+            view = self.heap.new_object(kind)
+        except OutOfMemoryError:
+            self.run_minor()
+            try:
+                view = self.heap.new_object(kind)
+            except OutOfMemoryError:
+                return
+        target = self._some_live(link)
+        if target:
+            self.heap.set_field(view, 0, target)
+        if rooted:
+            self.heap.roots.append(view.addr)
+
+    @rule(length=st.integers(min_value=1, max_value=2048),
+          seed=st.integers(min_value=0, max_value=255),
+          rooted=st.booleans())
+    def allocate_payload_array(self, length, seed, rooted):
+        try:
+            view = self.heap.new_object("typeArray", length=length)
+        except OutOfMemoryError:
+            self.run_minor()
+            try:
+                view = self.heap.new_object("typeArray", length=length)
+            except OutOfMemoryError:
+                return
+        self.heap.write_payload(view, bytes([seed]) * min(length, 64))
+        if rooted:
+            self.heap.roots.append(view.addr)
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def drop_root(self, index):
+        if self.heap.roots:
+            self.heap.roots[index % len(self.heap.roots)] = 0
+
+    @rule(slot=st.integers(min_value=0, max_value=10**6),
+          target_index=st.integers(min_value=0, max_value=10**6))
+    def rewire_reference(self, slot, target_index):
+        live = sorted(self._live_addrs())
+        candidates = [addr for addr in live
+                      if self.heap.object_at(addr).reference_slots()]
+        if not candidates:
+            return
+        view = self.heap.object_at(candidates[slot % len(candidates)])
+        slots = view.reference_slots()
+        self.heap.store_ref(slots[slot % len(slots)],
+                            self._some_live(target_index))
+
+    @rule()
+    def run_minor(self):
+        before = self._snapshot()
+        gc = MinorGC(self.heap)
+        if not gc.promotion_safe():
+            MajorGC(self.heap).collect()
+        MinorGC(self.heap).collect()
+        self.gc_count += 1
+        assert self._snapshot() == before
+
+    @rule()
+    def run_major(self):
+        before = self._snapshot()
+        MajorGC(self.heap).collect()
+        self.gc_count += 1
+        assert self._snapshot() == before
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def spaces_parseable(self):
+        for space in self.heap.layout.spaces:
+            cursor = space.start
+            while cursor < space.top:
+                view = self.heap.object_at(cursor)
+                assert view.end_addr <= space.top
+                cursor = view.end_addr
+            assert cursor == space.top
+
+    @invariant()
+    def old_to_young_refs_have_dirty_cards(self):
+        heap = self.heap
+        for addr in self._live_addrs():
+            if not heap.layout.in_old(addr):
+                continue
+            view = heap.object_at(addr)
+            for slot in view.reference_slots():
+                target = heap.load_ref(slot)
+                if target and heap.layout.in_young(target):
+                    assert heap.card_table.is_dirty(slot), (
+                        f"old slot {slot:#x} -> young {target:#x} "
+                        "without a dirty card")
+
+
+HeapMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestHeapMachine = HeapMachine.TestCase

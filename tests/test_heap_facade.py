@@ -1,0 +1,192 @@
+"""Tests for the JavaHeap facade: allocation, refs, barriers, iteration."""
+
+import pytest
+
+from repro.errors import ConfigError, InvalidObjectError, OutOfMemoryError
+from repro.heap.object_model import MarkWord
+
+from tests.conftest import make_heap
+
+
+class TestAllocation:
+    def test_new_object_in_eden(self, heap):
+        view = heap.new_object("Node")
+        assert heap.layout.eden.contains(view.addr)
+        assert view.klass.name == "Node"
+
+    def test_header_encoded_in_buffer(self, heap):
+        view = heap.new_object("Node")
+        assert heap.read_u64(view.addr) == MarkWord.fresh().raw
+        assert heap.read_u64(view.addr + 8) == view.klass.klass_id
+
+    def test_array_length_encoded(self, heap):
+        view = heap.new_object("objArray", length=7)
+        assert heap.read_u64(view.addr + 16) == 7
+        assert heap.object_at(view.addr).length == 7
+
+    def test_object_at_roundtrip(self, heap):
+        view = heap.new_object("typeArray", length=100)
+        decoded = heap.object_at(view.addr)
+        assert decoded.klass.name == "typeArray"
+        assert decoded.size_bytes == view.size_bytes
+
+    def test_object_at_empty_space_rejected(self, heap):
+        with pytest.raises(InvalidObjectError):
+            heap.object_at(heap.layout.eden.start)
+
+    def test_allocation_counters(self, heap):
+        heap.new_object("Node")
+        heap.new_object("Box")
+        assert heap.allocated_objects == 2
+        assert heap.allocated_bytes > 0
+
+    def test_eden_fills_up(self, heap):
+        big = heap.layout.eden.capacity // 2
+        heap.new_object("typeArray", length=big)
+        with pytest.raises(OutOfMemoryError):
+            heap.new_object("typeArray", length=big)
+
+    def test_explicit_space(self, heap):
+        view = heap.new_object("Node", space=heap.layout.old)
+        assert heap.layout.in_old(view.addr)
+
+
+class TestReferences:
+    def test_set_get_field(self, heap):
+        a = heap.new_object("Node")
+        b = heap.new_object("Node")
+        heap.set_field(a, 0, b.addr)
+        assert heap.get_field(heap.object_at(a.addr), 0) == b.addr
+
+    def test_references_of_skips_null(self, heap):
+        a = heap.new_object("Node")
+        b = heap.new_object("Node")
+        heap.set_field(a, 1, b.addr)
+        assert heap.references_of(heap.object_at(a.addr)) == [b.addr]
+
+    def test_field_index_bounds(self, heap):
+        a = heap.new_object("Node")
+        with pytest.raises(ConfigError):
+            heap.set_field(a, 5, 0)
+
+    def test_array_store_load(self, heap):
+        arr = heap.new_object("objArray", length=4)
+        node = heap.new_object("Node")
+        heap.array_store(arr.addr, 2, node.addr)
+        assert heap.array_load(arr.addr, 2) == node.addr
+        assert heap.array_load(arr.addr, 0) == 0
+
+    def test_array_bounds_checked(self, heap):
+        arr = heap.new_object("objArray", length=4)
+        with pytest.raises(ConfigError):
+            heap.array_store(arr.addr, 4, 0)
+        with pytest.raises(ConfigError):
+            heap.array_load(arr.addr, -1)
+
+    def test_array_ops_reject_non_arrays(self, heap):
+        node = heap.new_object("Node")
+        with pytest.raises(ConfigError):
+            heap.array_store(node.addr, 0, 0)
+
+
+class TestWriteBarrier:
+    def test_old_to_young_dirties_card(self, heap):
+        old = heap.new_object("Node", space=heap.layout.old)
+        young = heap.new_object("Node")
+        heap.set_field(old, 0, young.addr)
+        slot = old.reference_slots()[0]
+        assert heap.card_table.is_dirty(slot)
+
+    def test_young_to_young_clean(self, heap):
+        a = heap.new_object("Node")
+        b = heap.new_object("Node")
+        heap.set_field(a, 0, b.addr)
+        assert len(heap.card_table.dirty_card_indices()) == 0
+
+    def test_old_to_old_clean(self, heap):
+        a = heap.new_object("Node", space=heap.layout.old)
+        b = heap.new_object("Node", space=heap.layout.old)
+        heap.set_field(a, 0, b.addr)
+        assert len(heap.card_table.dirty_card_indices()) == 0
+
+    def test_null_store_clean(self, heap):
+        old = heap.new_object("Node", space=heap.layout.old)
+        heap.set_field(old, 0, 0)
+        assert len(heap.card_table.dirty_card_indices()) == 0
+
+
+class TestPayloadAndIteration:
+    def test_payload_roundtrip(self, heap):
+        arr = heap.new_object("typeArray", length=64)
+        heap.write_payload(arr, b"hello world")
+        assert heap.read_payload(arr)[:11] == b"hello world"
+
+    def test_payload_too_large_rejected(self, heap):
+        arr = heap.new_object("typeArray", length=4)
+        with pytest.raises(ConfigError):
+            heap.write_payload(arr, b"x" * 100)
+
+    def test_payload_requires_type_array(self, heap):
+        node = heap.new_object("Node")
+        with pytest.raises(ConfigError):
+            heap.write_payload(node, b"x")
+
+    def test_iterate_space(self, heap):
+        names = ["Node", "Box", "Message"]
+        for name in names:
+            heap.new_object(name)
+        seen = [v.klass.name for v in heap.iterate_space(heap.layout.eden)]
+        assert seen == names
+
+    def test_copy_bytes_preserves_content(self, heap):
+        arr = heap.new_object("typeArray", length=64)
+        heap.write_payload(arr, bytes(range(64)))
+        dst = heap.layout.old.allocate(arr.size_bytes)
+        heap.copy_bytes(arr.addr, dst, arr.size_bytes)
+        copied = heap.object_at(dst)
+        assert heap.read_payload(copied) == bytes(range(64))
+
+    def test_move_bytes_overlapping(self, heap):
+        # A sliding-left move whose source and destination overlap.
+        hole = heap.layout.old.allocate(64)
+        arr = heap.new_object("typeArray", length=256,
+                              space=heap.layout.old)
+        heap.write_payload(arr, bytes(range(256)))
+        assert arr.addr - hole < arr.size_bytes  # genuine overlap
+        heap.move_bytes(arr.addr, hole, arr.size_bytes)
+        moved = heap.object_at(hole)
+        assert heap.read_payload(moved) == bytes(range(256))
+
+
+class TestFillers:
+    def test_fill_large_range(self, heap):
+        start = heap.layout.old.allocate(256)
+        heap.fill_dead_range(start, start + 256)
+        view = heap.object_at(start)
+        assert heap.is_filler(view)
+        assert view.size_bytes == 256
+
+    def test_fill_minimum_range(self, heap):
+        start = heap.layout.old.allocate(16)
+        heap.fill_dead_range(start, start + 16)
+        view = heap.object_at(start)
+        assert heap.is_filler(view)
+        assert view.size_bytes == 16
+
+    def test_fill_empty_is_noop(self, heap):
+        heap.fill_dead_range(heap.layout.old.start,
+                             heap.layout.old.start)
+
+    def test_fill_bad_range_rejected(self, heap):
+        with pytest.raises(ConfigError):
+            heap.fill_dead_range(heap.layout.old.start,
+                                 heap.layout.old.start + 8)
+
+    def test_filler_keeps_space_parseable(self, heap):
+        a = heap.new_object("Node", space=heap.layout.old)
+        gap = heap.layout.old.allocate(64)
+        b = heap.new_object("Node", space=heap.layout.old)
+        heap.fill_dead_range(gap, gap + 64)
+        names = [v.klass.name
+                 for v in heap.iterate_space(heap.layout.old)]
+        assert names == ["Node", "fillerArray", "Node"]

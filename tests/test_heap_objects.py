@@ -1,0 +1,190 @@
+"""Tests for klass descriptors, the object model, and heap spaces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import HeapConfig
+from repro.errors import ConfigError, InvalidObjectError, OutOfMemoryError
+from repro.heap.klass import (HEADER_BYTES, KlassKind, KlassTable,
+                              standard_klass_table)
+from repro.heap.object_model import MAX_AGE, MarkWord
+from repro.heap.spaces import HeapLayout, Space
+
+
+class TestKlassTable:
+    def test_standard_table_has_15_kinds(self):
+        table = standard_klass_table()
+        kinds = {klass.kind for klass in table}
+        assert kinds == set(KlassKind)
+
+    def test_define_instance_layout(self):
+        table = KlassTable()
+        klass = table.define_instance("Point", ref_fields=2,
+                                      prim_fields=1)
+        assert klass.instance_bytes() == HEADER_BYTES + 3 * 8
+        assert list(klass.reference_offsets()) == [16, 24]
+
+    def test_obj_array_sizing(self):
+        table = standard_klass_table()
+        arr = table.by_name("objArray")
+        assert arr.instance_bytes(4) == 24 + 32
+        assert list(arr.reference_offsets(2)) == [24, 32]
+
+    def test_type_array_sizing_rounds_up(self):
+        table = standard_klass_table()
+        arr = table.by_name("typeArray")
+        assert arr.instance_bytes(10) == 24 + 16
+        assert list(arr.reference_offsets(100)) == []
+
+    def test_array_needs_length(self):
+        table = standard_klass_table()
+        with pytest.raises(ConfigError):
+            table.by_name("objArray").instance_bytes()
+
+    def test_duplicate_name_rejected(self):
+        table = KlassTable()
+        table.define("A", KlassKind.INSTANCE)
+        with pytest.raises(ConfigError):
+            table.define("A", KlassKind.INSTANCE)
+
+    def test_unknown_lookups_rejected(self):
+        table = KlassTable()
+        with pytest.raises(ConfigError):
+            table.by_id(99)
+        with pytest.raises(ConfigError):
+            table.by_name("nope")
+
+    def test_ref_offset_validation(self):
+        with pytest.raises(ConfigError):
+            KlassTable().define("bad", KlassKind.INSTANCE,
+                                field_words=1, ref_offsets=(8,))
+
+    def test_dominant_kinds(self):
+        assert KlassKind.INSTANCE.dominant
+        assert KlassKind.OBJ_ARRAY.dominant
+        assert not KlassKind.METHOD.dominant
+
+
+class TestMarkWord:
+    def test_fresh_state(self):
+        mark = MarkWord.fresh()
+        assert not mark.is_forwarded
+        assert not mark.is_marked
+        assert mark.age == 0
+
+    def test_forwarding_roundtrip(self):
+        mark = MarkWord.fresh().forwarded_to(0x12345678)
+        assert mark.is_forwarded
+        assert mark.forwarding_address == 0x12345678
+
+    def test_forwarding_requires_alignment(self):
+        with pytest.raises(InvalidObjectError):
+            MarkWord.fresh().forwarded_to(0x1001)
+
+    def test_forwarding_address_requires_forwarded(self):
+        with pytest.raises(InvalidObjectError):
+            _ = MarkWord.fresh().forwarding_address
+
+    def test_aging(self):
+        mark = MarkWord.fresh()
+        for expected in range(1, MAX_AGE + 1):
+            mark = mark.aged()
+            assert mark.age == expected
+        assert mark.aged().age == MAX_AGE  # saturates
+
+    def test_age_out_of_range(self):
+        with pytest.raises(InvalidObjectError):
+            MarkWord.fresh().with_age(16)
+
+    def test_mark_bit(self):
+        mark = MarkWord.fresh().marked()
+        assert mark.is_marked
+        assert not mark.unmarked().is_marked
+
+    def test_mark_preserves_age(self):
+        mark = MarkWord.fresh().with_age(5).marked()
+        assert mark.age == 5
+        assert mark.unmarked().age == 5
+
+    @given(st.integers(min_value=0, max_value=MAX_AGE),
+           st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_roundtrip_properties(self, age, addr_words):
+        addr = addr_words * 8
+        aged = MarkWord.fresh().with_age(age)
+        assert aged.age == age
+        forwarded = aged.forwarded_to(addr)
+        assert forwarded.forwarding_address == addr
+
+
+class TestSpaces:
+    def test_bump_allocation(self):
+        space = Space("s", 0x1000, 0x2000)
+        first = space.allocate(64)
+        second = space.allocate(64)
+        assert first == 0x1000
+        assert second == 0x1040
+        assert space.used == 128
+
+    def test_oom_when_full(self):
+        space = Space("s", 0x1000, 0x1100)
+        space.allocate(0x100)
+        with pytest.raises(OutOfMemoryError):
+            space.allocate(8)
+
+    def test_bad_size_rejected(self):
+        space = Space("s", 0x1000, 0x2000)
+        with pytest.raises(ConfigError):
+            space.allocate(0)
+        with pytest.raises(ConfigError):
+            space.allocate(12)
+
+    def test_reset(self):
+        space = Space("s", 0x1000, 0x2000)
+        space.allocate(256)
+        space.reset()
+        assert space.used == 0
+
+    def test_contains(self):
+        space = Space("s", 0x1000, 0x2000)
+        assert space.contains(0x1000)
+        assert not space.contains(0x2000)
+
+
+class TestHeapLayout:
+    def test_generational_split(self):
+        layout = HeapLayout(HeapConfig(heap_bytes=16 << 20))
+        young = (layout.eden.capacity + layout.survivor_a.capacity
+                 + layout.survivor_b.capacity)
+        # Young:Old = 1:2 (within rounding).
+        assert young == pytest.approx(layout.old.capacity / 2, rel=0.01)
+        # Eden:Survivor = 8:1.
+        assert layout.eden.capacity == pytest.approx(
+            8 * layout.survivor_a.capacity, rel=0.01)
+
+    def test_spaces_contiguous(self):
+        layout = HeapLayout(HeapConfig(heap_bytes=16 << 20))
+        spaces = layout.spaces
+        for before, after in zip(spaces, spaces[1:]):
+            assert before.end == after.start
+
+    def test_survivor_swap(self):
+        layout = HeapLayout(HeapConfig(heap_bytes=16 << 20))
+        original_from = layout.survivor_from
+        layout.swap_survivors()
+        assert layout.survivor_to is original_from
+
+    def test_in_young_in_old(self):
+        layout = HeapLayout(HeapConfig(heap_bytes=16 << 20))
+        assert layout.in_young(layout.eden.start)
+        assert layout.in_young(layout.survivor_b.end - 8)
+        assert layout.in_old(layout.old.start)
+        assert not layout.in_young(layout.old.start)
+
+    def test_space_of(self):
+        layout = HeapLayout(HeapConfig(heap_bytes=16 << 20))
+        assert layout.space_of(layout.eden.start) is layout.eden
+        assert layout.space_of(layout.old.end) is None
+
+    def test_tiny_heap_rejected(self):
+        with pytest.raises(ConfigError):
+            HeapLayout(HeapConfig(heap_bytes=4096))

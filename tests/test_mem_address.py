@@ -1,0 +1,91 @@
+"""Tests for address interleaving schemes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.address import (AddressMapping, BitField, ddr4_mapping,
+                               hmc_mapping)
+
+
+class TestBitFieldMapping:
+    def test_decode_components(self):
+        mapping = AddressMapping([BitField("a", 2), BitField("b", 3)])
+        parts = mapping.decode(0b10110)
+        assert parts["a"] == 0b10
+        assert parts["b"] == 0b101
+        assert parts["rest"] == 0
+
+    def test_encode_inverse(self):
+        mapping = AddressMapping([BitField("a", 2), BitField("b", 3)])
+        assert mapping.encode({"a": 2, "b": 5, "rest": 1}) == \
+            (1 << 5) | (5 << 2) | 2
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMapping([BitField("a", 2), BitField("a", 2)])
+
+    def test_overflow_value_rejected(self):
+        mapping = AddressMapping([BitField("a", 2)])
+        with pytest.raises(ConfigError):
+            mapping.encode({"a": 4})
+
+    def test_negative_address_rejected(self):
+        mapping = AddressMapping([BitField("a", 2)])
+        with pytest.raises(ConfigError):
+            mapping.decode(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_bijection_ddr4(self, addr):
+        mapping = ddr4_mapping()
+        assert mapping.encode(mapping.decode(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_bijection_hmc(self, addr):
+        mapping = hmc_mapping()
+        assert mapping.encode(mapping.decode(addr)) == addr
+
+
+class TestDDR4Scheme:
+    def test_channel_bits_above_line(self):
+        mapping = ddr4_mapping(channels=2)
+        # Consecutive 64B lines alternate channels.
+        assert mapping.component(0, "ch") == 0
+        assert mapping.component(64, "ch") == 1
+        assert mapping.component(128, "ch") == 0
+
+    def test_channel_count_power_of_two(self):
+        with pytest.raises(ConfigError):
+            ddr4_mapping(channels=3)
+
+    def test_rank_and_bank_fields(self):
+        mapping = ddr4_mapping(channels=2, ranks=4, banks=8)
+        parts = mapping.decode((1 << 48) - 1)
+        assert parts["rank"] == 3
+        assert parts["bank"] == 7
+
+
+class TestHMCScheme:
+    def test_cube_at_granule(self):
+        granule = 1 << 20
+        mapping = hmc_mapping(cubes=4, cube_granule=granule)
+        assert mapping.component(0, "cube") == 0
+        assert mapping.component(granule, "cube") == 1
+        assert mapping.component(3 * granule, "cube") == 3
+        assert mapping.component(4 * granule, "cube") == 0
+
+    def test_vault_interleaves_fine(self):
+        mapping = hmc_mapping(vaults=32)
+        assert mapping.component(0, "vault") == 0
+        assert mapping.component(256, "vault") == 1
+
+    def test_granule_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            hmc_mapping(cube_granule=1 << 10)
+
+    @given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_cube_matches_paper_convention(self, addr):
+        # With a 1 GB granule, the cube field is addr bits [31:30] --
+        # exactly the Table 2 notation.
+        mapping = hmc_mapping(cubes=4, cube_granule=1 << 30)
+        assert mapping.component(addr, "cube") == (addr >> 30) & 0x3

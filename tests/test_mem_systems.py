@@ -1,0 +1,170 @@
+"""Tests for the DDR4 and HMC memory-system models."""
+
+import pytest
+
+from repro.config import DDR4Config, HMCConfig
+from repro.errors import ConfigError
+from repro.mem.ddr4 import DDR4System
+from repro.mem.hmc import HMCSystem
+
+
+class TestDDR4:
+    def test_table2_defaults(self):
+        system = DDR4System()
+        assert len(system.channels) == 2
+        assert system.total_bandwidth == pytest.approx(34e9)
+
+    def test_access_latency_from_timings(self):
+        config = DDR4Config()
+        assert config.access_latency_s == pytest.approx(
+            config.trcd_s + config.tcas_s + config.controller_latency_s)
+
+    def test_channel_of_alternates(self):
+        system = DDR4System()
+        assert system.channel_of(0) != system.channel_of(64)
+
+    def test_access_completes_after_latency(self):
+        system = DDR4System()
+        finish = system.access(0.0, 0, 64)
+        assert finish >= system.access_latency
+
+    def test_stream_splits_channels(self):
+        system = DDR4System()
+        system.stream(0.0, 1 << 20, mlp=1e9)
+        served = [ch.bytes_served for ch in system.channels]
+        assert served[0] == pytest.approx(served[1], rel=0.01)
+
+    def test_stream_bandwidth_bound(self):
+        system = DDR4System()
+        size = 34_000_000  # one second at full bandwidth
+        finish = system.stream(0.0, size, mlp=1e9, chunk_bytes=4096)
+        assert finish == pytest.approx(1e-3, rel=0.05)
+
+    def test_energy_accounting(self):
+        system = DDR4System()
+        system.stream(0.0, 1000)
+        expected = 1000 * 35e-12 * 8
+        assert system.energy_joules == pytest.approx(expected, rel=0.01)
+
+    def test_reset_accounting(self):
+        system = DDR4System()
+        system.stream(0.0, 1000)
+        system.reset_accounting()
+        assert system.bytes_served == 0
+
+
+class TestHMC:
+    def test_topology_star(self):
+        system = HMCSystem()
+        assert len(system.internal) == 4
+        assert set(system.cross_links) == {1, 2, 3}
+
+    def test_host_path_central_no_cross_link(self):
+        system = HMCSystem()
+        path = system.host_path(0)
+        assert len(path.resources) == 2  # host link + internal
+
+    def test_host_path_remote_one_cross_link(self):
+        system = HMCSystem()
+        path = system.host_path(2)
+        assert len(path.resources) == 3
+
+    def test_unit_path_local_internal_only(self):
+        system = HMCSystem()
+        path = system.unit_path(1, 1)
+        assert len(path.resources) == 1
+
+    def test_unit_path_spoke_to_spoke_two_links(self):
+        system = HMCSystem()
+        path = system.unit_path(1, 3)
+        assert len(path.resources) == 3
+
+    def test_unit_path_spoke_to_central_one_link(self):
+        system = HMCSystem()
+        assert len(system.unit_path(1, 0).resources) == 2
+        assert len(system.unit_path(0, 1).resources) == 2
+
+    def test_bad_cube_rejected(self):
+        system = HMCSystem()
+        with pytest.raises(ConfigError):
+            system.host_path(4)
+
+    def test_local_remote_accounting(self):
+        system = HMCSystem()
+        system.unit_stream(0.0, 1, 1, 1000)
+        system.unit_stream(0.0, 1, 2, 3000)
+        assert system.unit_local_bytes == 1000
+        assert system.unit_remote_bytes == 3000
+        assert system.local_fraction == pytest.approx(0.25)
+
+    def test_local_fraction_defaults_to_one(self):
+        assert HMCSystem().local_fraction == 1.0
+
+    def test_internal_bandwidth_exceeds_link(self):
+        system = HMCSystem()
+        local = system.unit_stream(0.0, 1, 1, 10_000_000,
+                                   chunk_bytes=256, mlp=1e9)
+        system2 = HMCSystem()
+        remote = system2.unit_stream(0.0, 1, 3, 10_000_000,
+                                     chunk_bytes=256, mlp=1e9)
+        assert local < remote  # TSVs beat serial links
+
+    def test_tsv_and_link_bytes(self):
+        system = HMCSystem()
+        system.host_stream(0.0, 2, 1000)
+        assert system.tsv_bytes == 1000
+        # host link + one cross link
+        assert system.link_bytes == 2000
+
+    def test_energy_lower_per_byte_than_ddr4(self):
+        hmc = HMCSystem()
+        ddr4 = DDR4System()
+        hmc.unit_stream(0.0, 0, 0, 10_000)
+        ddr4.stream(0.0, 10_000)
+        assert hmc.energy_joules < ddr4.energy_joules
+
+    def test_reset_accounting(self):
+        system = HMCSystem()
+        system.host_stream(0.0, 1, 4096)
+        system.unit_stream(0.0, 0, 1, 4096)
+        system.reset_accounting()
+        assert system.tsv_bytes == 0
+        assert system.link_bytes == 0
+        assert system.unit_remote_bytes == 0
+
+
+class TestTopology:
+    def make_full(self):
+        import dataclasses
+        config = dataclasses.replace(HMCConfig(),
+                                     topology="fully-connected")
+        return HMCSystem(config)
+
+    def test_fully_connected_link_count(self):
+        system = self.make_full()
+        # C(4, 2) = 6 direct links.
+        assert len(system.cross_links) == 6
+
+    def test_spoke_to_spoke_one_hop(self):
+        system = self.make_full()
+        assert len(system.unit_path(1, 3).resources) == 2
+        star = HMCSystem()
+        assert len(star.unit_path(1, 3).resources) == 3
+
+    def test_unknown_topology_rejected(self):
+        import dataclasses
+        config = dataclasses.replace(HMCConfig(), topology="ring")
+        with pytest.raises(ConfigError):
+            HMCSystem(config)
+
+    def test_fully_connected_relieves_central_contention(self):
+        # Saturate cube1->cube2 traffic; in the star it shares the
+        # central links with cube1->cube3 traffic, fully-connected
+        # doesn't.
+        star, full = HMCSystem(), self.make_full()
+        for system in (star, full):
+            system.unit_stream(0.0, 1, 2, 10_000_000, mlp=1e9)
+            t = system.unit_stream(0.0, 1, 3, 10_000_000, mlp=1e9)
+        star_t = star.unit_path(1, 3).resources[0].busy_until
+        full_t = full.unit_path(1, 3).resources[0].busy_until
+        assert full_t < star_t

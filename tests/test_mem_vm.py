@@ -1,0 +1,133 @@
+"""Tests for virtual memory: pinned pages, interleaving, protection."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtectionFault
+from repro.mem.vm import VirtualMemory
+
+MB = 1 << 20
+BASE = 0x1000_0000
+
+
+def make_vm(cubes=4):
+    return VirtualMemory(huge_page_bytes=MB, cubes=cubes)
+
+
+class TestMapping:
+    def test_round_robin_interleave(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 8 * MB)
+        cubes = [vm.cube_of(BASE + i * MB) for i in range(8)]
+        assert cubes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_within_page_same_cube(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 2 * MB)
+        assert vm.cube_of(BASE + 123) == vm.cube_of(BASE + MB - 1)
+
+    def test_unaligned_base_rejected(self):
+        vm = make_vm()
+        with pytest.raises(ConfigError):
+            vm.map_heap(BASE + 4096, MB)
+
+    def test_unaligned_size_rejected(self):
+        vm = make_vm()
+        with pytest.raises(ConfigError):
+            vm.map_heap(BASE, MB + 8)
+
+    def test_double_map_rejected(self):
+        vm = make_vm()
+        vm.map_heap(BASE, MB)
+        with pytest.raises(ConfigError):
+            vm.map_heap(BASE, MB)
+
+    def test_metadata_pages_finer_granularity(self):
+        vm = make_vm()
+        vm.map_pinned(BASE, 64 * 1024, page_bytes=16 * 1024)
+        cubes = {vm.cube_of(BASE + i * 16 * 1024) for i in range(4)}
+        assert cubes == {0, 1, 2, 3}
+
+    def test_mixed_page_sizes_coexist(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 2 * MB)
+        vm.map_pinned(BASE + 2 * MB, 32 * 1024, page_bytes=16 * 1024)
+        assert vm.cube_of(BASE) == 0
+        assert vm.cube_of(BASE + 2 * MB) == 2  # continues round robin
+        assert sorted(vm.page_sizes()) == [16 * 1024, MB]
+
+    def test_small_pages_not_pinned(self):
+        vm = make_vm()
+        vm.map_small(0x7000_0000, 8192)
+        mapping = vm.lookup(0x7000_0000)
+        assert not mapping.pinned
+
+
+class TestTranslation:
+    def test_unmapped_faults(self):
+        vm = make_vm()
+        with pytest.raises(ProtectionFault):
+            vm.lookup(BASE)
+
+    def test_pcid_isolation(self):
+        vm = make_vm()
+        vm.map_heap(BASE, MB, pcid=1)
+        assert vm.cube_of(BASE, pcid=1) == 0
+        with pytest.raises(ProtectionFault):
+            vm.lookup(BASE, pcid=2)
+
+    def test_accelerator_rejects_unpinned(self):
+        vm = make_vm()
+        vm.map_small(0x7000_0000, 4096)
+        with pytest.raises(ProtectionFault):
+            vm.accelerator_lookup(0x7000_0000)
+
+    def test_accelerator_accepts_pinned(self):
+        vm = make_vm()
+        vm.map_heap(BASE, MB)
+        assert vm.accelerator_lookup(BASE + 100).cube == 0
+
+    def test_unmap_removes_process(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 2 * MB, pcid=7)
+        assert vm.unmap(7) == 2
+        with pytest.raises(ProtectionFault):
+            vm.lookup(BASE, pcid=7)
+
+    def test_pinned_page_count(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 3 * MB)
+        vm.map_pinned(BASE + 3 * MB, 32 * 1024, 16 * 1024)
+        assert vm.pinned_page_count() == 5
+
+
+class TestRangeSplitting:
+    def test_single_page_one_run(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 4 * MB)
+        runs = vm.split_range_by_cube(BASE + 100, 1000)
+        assert runs == [(BASE + 100, 1000, 0)]
+
+    def test_cross_page_splits(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 4 * MB)
+        runs = vm.split_range_by_cube(BASE + MB - 512, 1024)
+        assert runs == [(BASE + MB - 512, 512, 0),
+                        (BASE + MB, 512, 1)]
+
+    def test_adjacent_same_cube_merged(self):
+        vm = VirtualMemory(huge_page_bytes=MB, cubes=1)
+        vm.map_heap(BASE, 4 * MB)
+        runs = vm.split_range_by_cube(BASE, 3 * MB)
+        assert runs == [(BASE, 3 * MB, 0)]
+
+    def test_lengths_sum(self):
+        vm = make_vm()
+        vm.map_heap(BASE, 8 * MB)
+        runs = vm.split_range_by_cube(BASE + 12345, 5 * MB)
+        assert sum(length for _, length, _ in runs) == 5 * MB
+
+    def test_negative_length_rejected(self):
+        vm = make_vm()
+        vm.map_heap(BASE, MB)
+        with pytest.raises(ConfigError):
+            vm.split_range_by_cube(BASE, -1)

@@ -1,0 +1,107 @@
+"""Tests for the host memory ports and host cost-model edge cases."""
+
+import pytest
+
+from repro.config import default_config
+from repro.gcalgo.trace import Primitive, ResidualWork, TraceEvent
+from repro.mem.ddr4 import DDR4System
+from repro.mem.hmc import HMCSystem
+from repro.mem.vm import VirtualMemory
+from repro.platform.ports import DDR4Port, HMCHostPort
+
+from tests.conftest import platform_for
+
+MB = 1 << 20
+BASE = 0x1000_0000
+
+
+def make_hmc_port():
+    vm = VirtualMemory(huge_page_bytes=MB, cubes=4)
+    vm.map_heap(BASE, 8 * MB)
+    return HMCHostPort(HMCSystem(), vm), vm
+
+
+class TestDDR4Port:
+    def test_latency_and_bandwidth(self):
+        port = DDR4Port(DDR4System())
+        assert port.latency > 0
+        assert port.drain_bandwidth == pytest.approx(34e9)
+
+    def test_stream_range_ignores_address(self):
+        port = DDR4Port(DDR4System())
+        a = port.stream_range(0.0, 0, 4096, 64, 10.0)
+        port2 = DDR4Port(DDR4System())
+        b = port2.stream_range(0.0, 0xDEAD000, 4096, 64, 10.0)
+        assert a == pytest.approx(b)
+
+    def test_anon_defaults_to_priority(self):
+        port = DDR4Port(DDR4System())
+        port.stream_range(0.0, 0, 10 * MB, 4096, 1e9)  # bulk backlog
+        fast = port.stream_anon(0.0, 128, 64, 8.0)
+        assert fast < 1e-6
+
+
+class TestHMCHostPort:
+    def test_stream_range_routes_by_page(self):
+        port, vm = make_hmc_port()
+        port.stream_range(0.0, BASE, 2 * MB, 256, 10.0)
+        # Two pages -> two cubes touched.
+        touched = [r for r in port.hmc.internal if r.bytes_served > 0]
+        assert len(touched) == 2
+
+    def test_unmapped_range_falls_back_to_anon(self):
+        port, _ = make_hmc_port()
+        finish = port.stream_range(0.0, 0x9000_0000, 4096, 64, 10.0)
+        assert finish > 0
+        assert port.hmc.tsv_bytes == 4096
+
+    def test_anon_spreads_round_robin(self):
+        port, _ = make_hmc_port()
+        port.stream_anon(0.0, 4 * 4096, 256, 10.0)
+        touched = [r for r in port.hmc.internal if r.bytes_served > 0]
+        assert len(touched) == 4
+
+    def test_zero_bytes_noop(self):
+        port, _ = make_hmc_port()
+        assert port.stream_range(1.0, BASE, 0, 64, 8.0) == 1.0
+        assert port.stream_anon(2.0, 0, 64, 8.0) == 2.0
+
+    def test_everything_crosses_host_link(self):
+        port, _ = make_hmc_port()
+        port.stream_range(0.0, BASE, MB, 256, 10.0)
+        assert port.hmc.host_link.bytes_served == MB
+
+
+class TestHostCostEdges:
+    def test_zero_byte_copy_has_fixed_cost(self):
+        platform, heap, _ = platform_for("cpu-ddr4")
+        event = TraceEvent(Primitive.COPY, "evacuate",
+                           src=heap.layout.eden.start,
+                           dst=heap.layout.old.start, size_bytes=0)
+        finish = platform.cost_model.event_finish(0.0, event)
+        # The per-object bookkeeping still costs instructions.
+        assert finish > 0
+
+    def test_zero_ref_scan_minimal(self):
+        platform, heap, _ = platform_for("cpu-ddr4")
+        event = TraceEvent(Primitive.SCAN_PUSH, "evacuate",
+                           src=heap.layout.eden.start, refs=0)
+        assert platform.cost_model.event_finish(0.0, event) < 500e-9
+
+    def test_residual_scales_with_threads(self):
+        platform, _, _ = platform_for("cpu-ddr4")
+        work = ResidualWork(instructions=1_000_000,
+                            bytes_accessed=1 << 20)
+        one = platform.cost_model.residual_seconds(0.0, work, 1)
+        eight = platform.cost_model.residual_seconds(0.0, work, 8)
+        assert eight < one
+
+    def test_unknown_primitive_rejected(self):
+        platform, _, _ = platform_for("cpu-ddr4")
+
+        class FakeEvent:
+            primitive = "nope"
+            phase = "x"
+
+        with pytest.raises(ValueError):
+            platform.cost_model.event_finish(0.0, FakeEvent())

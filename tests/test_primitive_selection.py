@@ -1,0 +1,61 @@
+"""Tests for the Sec. 3.3 primitive-selection studies."""
+
+import pytest
+
+from repro.experiments import primitive_selection as selection
+
+
+class TestLinkedListStudy:
+    def test_rows_complete(self):
+        rows = selection.linked_list_study(nodes=1024)
+        operations = [row["operation"] for row in rows]
+        assert any("host" in op for op in operations)
+        assert any("per-node" in op for op in operations)
+        assert all(row["seconds_us"] > 0 for row in rows)
+
+    def test_traversal_gain_is_latency_ratio(self):
+        rows = selection.linked_list_study(nodes=1024)
+        one_shot = next(r for r in rows if "one offload" in
+                        r["operation"])
+        # Bounded by the DRAM-latency ratio, nowhere near Copy's gain.
+        assert 1.0 < one_shot["speedup"] < 4.0
+
+    def test_per_node_worse_than_one_shot(self):
+        rows = selection.linked_list_study(nodes=2048)
+        one_shot = next(r for r in rows if "one offload" in
+                        r["operation"])
+        per_node = next(r for r in rows if "per-node" in
+                        r["operation"])
+        assert per_node["speedup"] < one_shot["speedup"]
+
+    def test_copy_contrast(self):
+        rows = selection.linked_list_study(nodes=2048)
+        copy = next(r for r in rows if "charon" in r["operation"]
+                    and "copy" in r["operation"])
+        assert copy["speedup"] > 5.0
+
+
+class TestCheckMarkStudy:
+    def test_offload_dwarfs_cached_check(self):
+        rows = selection.check_mark_study()
+        cached = next(r for r in rows if "cached" in r["operation"])
+        offloaded = next(r for r in rows if "offloaded" in
+                         r["operation"])
+        assert offloaded["seconds_ns"] > 2 * cached["seconds_ns"]
+
+    def test_offload_comparable_to_cold_check(self):
+        # Offloading a single check roughly breaks even against a cold
+        # miss -- not worth a packet per the paper's argument.
+        rows = selection.check_mark_study()
+        cold = next(r for r in rows if "cold" in r["operation"])
+        offloaded = next(r for r in rows if "offloaded" in
+                         r["operation"])
+        assert offloaded["seconds_ns"] > 0.5 * cold["seconds_ns"]
+
+
+class TestSummary:
+    def test_selection_conclusion(self):
+        summary = selection.selection_summary()
+        assert summary["traversal_benefit_small"]
+        assert summary["copy_speedup"] > 3 * summary["traversal_speedup"]
+        assert summary["check_mark_offload_penalty"] > 2.0

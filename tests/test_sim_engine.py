@@ -1,0 +1,186 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Process, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_advance_to(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        assert sim.now == 5.0
+
+    def test_advance_to_backwards_rejected(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(4.0)
+
+    def test_advance_past_pending_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(2.0)
+
+
+class TestProcess:
+    def test_generator_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def gen():
+            trace.append(("start", sim.now))
+            yield 1.0
+            trace.append(("mid", sim.now))
+            yield 2.0
+            trace.append(("end", sim.now))
+
+        process = Process(sim, gen())
+        sim.run()
+        assert process.finished
+        assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+    def test_wait_and_wake(self):
+        sim = Simulator()
+        trace = []
+
+        def gen():
+            yield 1.0
+            trace.append("waiting")
+            yield None
+            trace.append(("resumed", sim.now))
+
+        process = Process(sim, gen())
+        sim.run()
+        assert trace == ["waiting"]
+        assert not process.finished
+        sim.advance_to(5.0)
+        process.wake()
+        sim.run()
+        assert ("resumed", 5.0) in trace
+        assert process.finished
+
+    def test_on_finish_callback(self):
+        sim = Simulator()
+        done = []
+
+        def gen():
+            yield 1.0
+
+        process = Process(sim, gen())
+        process.on_finish = lambda: done.append(True)
+        sim.run()
+        assert done == [True]
+
+    def test_wake_finished_rejected(self):
+        sim = Simulator()
+
+        def gen():
+            yield 0.5
+
+        process = Process(sim, gen())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.wake()

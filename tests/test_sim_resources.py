@@ -1,0 +1,173 @@
+"""Tests for fluid-flow bandwidth resources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.resources import FluidResource, LatencyLink, ResourcePath
+
+
+def make_resource(rate=1e9, latency=10e-9):
+    return FluidResource("r", rate=rate, latency=latency)
+
+
+class TestFluidResource:
+    def test_reserve_service_time(self):
+        res = make_resource(rate=1e9)
+        finish = res.reserve(0.0, 1000)
+        assert finish == pytest.approx(1e-6)
+
+    def test_fifo_queueing(self):
+        res = make_resource(rate=1e9)
+        first = res.reserve(0.0, 1000)
+        second = res.reserve(0.0, 1000)
+        assert second == pytest.approx(first + 1e-6)
+
+    def test_idle_gap_not_charged(self):
+        res = make_resource(rate=1e9)
+        res.reserve(0.0, 1000)
+        finish = res.reserve(1.0, 1000)
+        assert finish == pytest.approx(1.0 + 1e-6)
+
+    def test_priority_lane_independent(self):
+        res = make_resource(rate=1e9)
+        res.reserve(0.0, 10_000_000)  # 10ms of bulk traffic
+        small = res.reserve_small(0.0, 64)
+        assert small < 1e-6  # did not queue behind the bulk stream
+
+    def test_tally_accounts_without_horizon(self):
+        res = make_resource(rate=1e9)
+        delay = res.tally(1000)
+        assert delay == pytest.approx(1e-6)
+        assert res.busy_until == 0.0
+        assert res.bytes_served == 1000
+
+    def test_byte_and_energy_accounting(self):
+        res = FluidResource("r", rate=1e9, energy_per_byte=2e-12)
+        res.reserve(0.0, 500)
+        res.reserve_small(0.0, 500)
+        res.tally(500)
+        assert res.bytes_served == 1500
+        assert res.energy_joules == pytest.approx(1500 * 2e-12)
+        assert res.requests == 3
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            make_resource().reserve(0.0, -1)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            FluidResource("bad", rate=0.0)
+
+    def test_utilization(self):
+        res = make_resource(rate=1e9)
+        res.reserve(0.0, 1000)
+        assert res.utilization(2e-6) == pytest.approx(0.5)
+
+    def test_snapshot_and_reset(self):
+        res = make_resource()
+        res.reserve(0.0, 100)
+        snap = res.snapshot()
+        assert snap["bytes_served"] == 100
+        res.reset_accounting()
+        assert res.bytes_served == 0
+        # The FIFO horizon survives a stats reset.
+        assert res.busy_until > 0.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=30))
+    def test_fifo_monotone(self, sizes):
+        res = make_resource(rate=1e9)
+        finishes = [res.reserve(0.0, size) for size in sizes]
+        assert finishes == sorted(finishes)
+        assert res.bytes_served == sum(sizes)
+        # Total service equals bytes / rate.
+        assert finishes[-1] == pytest.approx(sum(sizes) / 1e9)
+
+
+class TestLatencyLink:
+    def test_defaults_to_near_infinite_rate(self):
+        link = LatencyLink("l", latency=3e-9)
+        finish = link.reserve(0.0, 1_000_000)
+        assert finish < 1e-9
+
+    def test_finite_rate(self):
+        link = LatencyLink("l", latency=3e-9, rate=80e9)
+        finish = link.reserve(0.0, 80_000)
+        assert finish == pytest.approx(1e-6)
+
+
+class TestResourcePath:
+    def test_latency_sums(self):
+        a = make_resource(latency=10e-9)
+        b = make_resource(latency=5e-9)
+        path = ResourcePath([a, b], extra_latency=1e-9)
+        assert path.latency == pytest.approx(16e-9)
+
+    def test_bottleneck_rate(self):
+        a = make_resource(rate=1e9)
+        b = make_resource(rate=5e8)
+        assert ResourcePath([a, b]).bottleneck_rate == 5e8
+
+    def test_access_includes_latency(self):
+        res = make_resource(rate=1e12, latency=50e-9)
+        finish = ResourcePath([res]).access(0.0, 64)
+        assert finish == pytest.approx(50e-9 + 64e-12)
+
+    def test_stream_bandwidth_bound(self):
+        res = make_resource(rate=1e9, latency=1e-9)
+        path = ResourcePath([res])
+        finish = path.stream(0.0, 1_000_000, chunk_bytes=256, mlp=1e9)
+        assert finish == pytest.approx(1e-3, rel=0.01)
+
+    def test_stream_latency_bound(self):
+        res = make_resource(rate=1e15, latency=100e-9)
+        path = ResourcePath([res])
+        # mlp 1: every chunk pays the full latency.
+        finish = path.stream(0.0, 100 * 64, chunk_bytes=64, mlp=1.0)
+        assert finish == pytest.approx(100e-9 * 100, rel=0.01)
+
+    def test_stream_mlp_scales_latency_bound(self):
+        res = make_resource(rate=1e15, latency=100e-9)
+        t1 = ResourcePath([res]).stream(0.0, 6400, chunk_bytes=64,
+                                        mlp=1.0)
+        res2 = make_resource(rate=1e15, latency=100e-9)
+        t10 = ResourcePath([res2]).stream(0.0, 6400, chunk_bytes=64,
+                                          mlp=10.0)
+        assert t10 < t1 / 5
+
+    def test_stream_issue_bound(self):
+        res = make_resource(rate=1e15, latency=1e-12)
+        path = ResourcePath([res])
+        finish = path.stream(0.0, 1000 * 256, chunk_bytes=256,
+                             mlp=1e9, issue_rate=1e9)
+        assert finish >= 1000e-9
+
+    def test_stream_dependent_batches(self):
+        res = make_resource(rate=1e15, latency=100e-9)
+        one = ResourcePath([res]).stream(0.0, 64, chunk_bytes=64,
+                                         mlp=8.0, dependent_batches=1)
+        res2 = make_resource(rate=1e15, latency=100e-9)
+        two = ResourcePath([res2]).stream(0.0, 64, chunk_bytes=64,
+                                          mlp=8.0, dependent_batches=2)
+        assert two == pytest.approx(one + 100e-9)
+
+    def test_stream_priority_avoids_bulk_queue(self):
+        res = make_resource(rate=1e9, latency=1e-9)
+        ResourcePath([res]).stream(0.0, 10_000_000, chunk_bytes=256,
+                                   mlp=64)
+        fast = ResourcePath([res]).stream(0.0, 128, chunk_bytes=64,
+                                          mlp=8, priority=True)
+        assert fast < 1e-6
+
+    def test_stream_empty(self):
+        res = make_resource(latency=10e-9)
+        finish = ResourcePath([res]).stream(5.0, 0, 64, 8.0)
+        assert finish == pytest.approx(5.0 + 10e-9)
+
+    def test_stream_bad_args(self):
+        path = ResourcePath([make_resource()])
+        with pytest.raises(SimulationError):
+            path.stream(0.0, 100, chunk_bytes=0, mlp=1.0)
+        with pytest.raises(SimulationError):
+            path.stream(0.0, 100, chunk_bytes=64, mlp=0.0)

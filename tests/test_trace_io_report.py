@@ -1,0 +1,140 @@
+"""Tests for trace serialization and the device report."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.report import (device_summary, full_report,
+                               traffic_summary, unit_rows)
+from repro.errors import ConfigError
+from repro.gcalgo.mark_compact import MajorGC
+from repro.gcalgo.parallel_scavenge import MinorGC
+from repro.gcalgo.trace import GCTrace, Primitive, TraceEvent
+from repro.gcalgo.trace_io import (load_traces, save_traces,
+                                   trace_from_dict, trace_to_dict)
+from repro.platform import TraceReplayer
+
+from tests.conftest import make_heap, platform_for
+
+
+def real_traces():
+    heap = make_heap()
+    prev = 0
+    for _ in range(800):
+        view = heap.new_object("Record")
+        heap.set_field(view, 0, prev)
+        prev = view.addr
+    heap.roots.append(prev)
+    traces = [MinorGC(heap).collect() for _ in range(5)]
+    traces.append(MajorGC(heap).collect())
+    return traces
+
+
+class TestTraceRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        trace = GCTrace("major", heap_bytes=123)
+        trace.copy("compact", 0x100, 0x80, 64)
+        trace.search("card-search", 0x200, 128, True)
+        trace.scan_push("mark", 0x300, 5, 2)
+        trace.bitmap_count("adjust", 0x400, 77, bits_cached=9)
+        trace.residual("setup", 1000.0, 4096)
+        trace.objects_copied = 1
+        trace.bytes_copied = 64
+
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.kind == "major"
+        assert restored.heap_bytes == 123
+        assert len(restored.events) == 4
+        assert restored.events == trace.events
+        assert restored.residuals["setup"].instructions == 1000.0
+        assert restored.objects_copied == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        traces = real_traces()
+        path = tmp_path / "run.gctrace.json"
+        events = save_traces(traces, path)
+        assert events == sum(len(t.events) for t in traces)
+        restored = load_traces(path)
+        assert len(restored) == len(traces)
+        for original, back in zip(traces, restored):
+            assert back.events == original.events
+            assert back.summary() == original.summary()
+
+    def test_replay_of_loaded_traces_identical(self, tmp_path):
+        traces = real_traces()
+        path = tmp_path / "run.gctrace.json"
+        save_traces(traces, path)
+        restored = load_traces(path)
+        original_result = TraceReplayer(
+            platform_for("charon")[0]).replay_all(traces)
+        restored_result = TraceReplayer(
+            platform_for("charon")[0]).replay_all(restored)
+        assert restored_result.wall_seconds == pytest.approx(
+            original_result.wall_seconds)
+        assert restored_result.dram_bytes == original_result.dram_bytes
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigError):
+            load_traces(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format": "repro-gctrace",
+                                    "version": 999, "traces": []}))
+        with pytest.raises(ConfigError):
+            load_traces(path)
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(list(Primitive)),
+                  st.integers(min_value=0, max_value=2**40),
+                  st.integers(min_value=0, max_value=2**20),
+                  st.integers(min_value=0, max_value=500)),
+        max_size=40))
+    @settings(max_examples=40)
+    def test_arbitrary_events_roundtrip(self, rows):
+        trace = GCTrace("minor")
+        for primitive, src, size, refs in rows:
+            trace.events.append(TraceEvent(
+                primitive, "p", src=src, size_bytes=size, refs=refs,
+                pushes=min(refs, 3), bits=size % 513))
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.events == trace.events
+
+
+class TestDeviceReport:
+    def make_used_device(self):
+        platform, heap, _ = platform_for("charon")
+        traces = real_traces()
+        TraceReplayer(platform).replay_all(traces)
+        return platform.device
+
+    def test_unit_rows_cover_all_units(self):
+        device = self.make_used_device()
+        rows = unit_rows(device)
+        assert len(rows) == len(device.all_units())
+        assert any(row["commands"] > 0 for row in rows)
+
+    def test_device_summary_consistent(self):
+        device = self.make_used_device()
+        summary = device_summary(device)
+        assert summary["offloads"] > 0
+        assert summary["request_bytes"] == 48 * summary["offloads"]
+        assert 0.0 <= summary["tlb_remote_fraction"] <= 1.0
+
+    def test_traffic_summary(self):
+        device = self.make_used_device()
+        traffic = traffic_summary(device.hmc)
+        assert traffic["tsv_bytes"] > 0
+        assert traffic["unit_local_bytes"] \
+            + traffic["unit_remote_bytes"] > 0
+        assert 0.0 <= traffic["local_fraction"] <= 1.0
+
+    def test_full_report_renders(self):
+        device = self.make_used_device()
+        text = full_report(device)
+        assert "device" in text
+        assert "units" in text
+        assert "copy_search#0" in text

@@ -1,0 +1,90 @@
+"""Tests for unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(1e9, 1e9) == 1.0
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(2.0, 1e9) == 2e9
+
+    def test_roundtrip(self):
+        cycles = 12345.0
+        seconds = units.cycles_to_seconds(cycles, 2.67e9)
+        assert units.seconds_to_cycles(seconds, 2.67e9) == \
+            pytest.approx(cycles)
+
+    def test_gb_per_s(self):
+        assert units.gb_per_s(80.0) == 80e9
+
+    def test_pj_per_bit(self):
+        # 35 pJ/bit -> joules per byte.
+        assert units.pj_per_bit(35.0) == pytest.approx(35e-12 * 8)
+
+    def test_constants(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+        assert units.CACHE_LINE == 64
+        assert units.HMC_MAX_REQUEST == 256
+        assert units.WORD == 8
+
+
+class TestAlignment:
+    def test_align_up_exact(self):
+        assert units.align_up(64, 64) == 64
+
+    def test_align_up_rounds(self):
+        assert units.align_up(65, 64) == 128
+
+    def test_align_down(self):
+        assert units.align_down(127, 64) == 64
+
+    def test_align_zero(self):
+        assert units.align_up(0, 8) == 0
+
+    def test_align_up_bad_alignment(self):
+        with pytest.raises(ValueError):
+            units.align_up(10, 0)
+
+    def test_align_down_bad_alignment(self):
+        with pytest.raises(ValueError):
+            units.align_down(10, -8)
+
+    @given(st.integers(min_value=0, max_value=1 << 48),
+           st.sampled_from([8, 64, 256, 4096, 1 << 20]))
+    def test_align_properties(self, value, alignment):
+        up = units.align_up(value, alignment)
+        down = units.align_down(value, alignment)
+        assert down <= value <= up
+        assert up % alignment == 0
+        assert down % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestGeomean:
+    def test_single(self):
+        assert units.geomean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert units.geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            units.geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0),
+                    min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = units.geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the heap verifier and the GC log formatter."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.gcalgo.gclog import (format_gc_line, format_gc_log,
+                                replayed_gc_log)
+from repro.gcalgo.mark_compact import MajorGC
+from repro.gcalgo.parallel_scavenge import MinorGC
+from repro.gcalgo.trace import GCTrace
+from repro.heap.verifier import verify_heap, verify_space
+
+from tests.conftest import make_heap, platform_for
+
+
+def populated_heap():
+    heap = make_heap()
+    prev = 0
+    for _ in range(300):
+        view = heap.new_object("Record")
+        heap.set_field(view, 0, prev)
+        prev = view.addr
+    heap.roots.append(prev)
+    return heap
+
+
+class TestVerifier:
+    def test_clean_heap_passes(self):
+        heap = populated_heap()
+        assert verify_heap(heap) == 300
+
+    def test_heap_passes_after_collections(self):
+        heap = populated_heap()
+        MinorGC(heap).collect()
+        MajorGC(heap).collect()
+        assert verify_heap(heap) > 0
+
+    def test_corrupt_klass_id_detected(self):
+        heap = populated_heap()
+        first = next(heap.iterate_space(heap.layout.eden))
+        heap.write_u64(first.addr + 8, 0x7777)
+        with pytest.raises(HeapError):
+            verify_heap(heap)
+
+    def test_dangling_reference_detected(self):
+        heap = populated_heap()
+        view = heap.new_object("Record")
+        # Point into empty old-generation space.
+        heap.write_u64(view.reference_slots()[0],
+                       heap.layout.old.start + 128)
+        with pytest.raises(HeapError):
+            verify_heap(heap)
+
+    def test_missing_dirty_card_detected(self):
+        heap = populated_heap()
+        old = heap.new_object("Record", space=heap.layout.old)
+        young = heap.new_object("Record")
+        # Bypass the write barrier.
+        heap.write_u64(old.reference_slots()[0], young.addr)
+        with pytest.raises(HeapError, match="dirty card"):
+            verify_heap(heap)
+
+    def test_forwarded_header_detected(self):
+        heap = populated_heap()
+        first = next(heap.iterate_space(heap.layout.eden))
+        mark = heap.mark_word(first.addr)
+        heap.set_mark_word(first.addr,
+                           mark.forwarded_to(first.addr + 48))
+        with pytest.raises(HeapError, match="forwarded"):
+            verify_heap(heap)
+        # But permitted when explicitly allowed (mid-collection view).
+        verify_space(heap, heap.layout.eden, allow_forwarded=True)
+
+    def test_bad_root_detected(self):
+        heap = populated_heap()
+        heap.roots.append(0x500)
+        with pytest.raises(HeapError, match="root"):
+            verify_heap(heap)
+
+    def test_null_roots_fine(self):
+        heap = populated_heap()
+        heap.roots.extend([0, 0])
+        verify_heap(heap)
+
+
+class TestGcLog:
+    def traces(self):
+        heap = populated_heap()
+        out = [MinorGC(heap).collect() for _ in range(2)]
+        out.append(MajorGC(heap).collect())
+        return out
+
+    def test_line_format(self):
+        trace = GCTrace("minor")
+        trace.bytes_copied = 1 << 20
+        trace.bytes_freed = 3 << 20
+        trace.objects_promoted = 5
+        line = format_gc_line(trace, seconds=0.00123)
+        assert line.startswith("[GC (minor) 4.0M->1.0M")
+        assert "5 promoted" in line
+        assert "0.001230 secs" in line
+
+    def test_major_line_mentions_bitmap_queries(self):
+        trace = GCTrace("major")
+        line = format_gc_line(trace)
+        assert "Full GC" in line
+        assert "bitmap queries" in line
+
+    def test_log_without_times(self):
+        log = format_gc_log(self.traces())
+        assert log.count("\n") == 2
+        assert "[GC (minor)" in log
+        assert "[Full GC (major)" in log
+
+    def test_replayed_log_has_pause_times(self):
+        traces = self.traces()
+        platform, _, _ = platform_for("charon")
+        log = replayed_gc_log(traces, platform)
+        assert log.count("secs") == len(traces)
+
+    def test_g1_label(self):
+        assert "G1" in format_gc_line(GCTrace("g1"))
