@@ -108,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="Charon device "
                                                 "statistics for a run")
     report.add_argument("workload", choices=WORKLOAD_NAMES)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential GC fuzzing with the reachability "
+                     "oracle")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first seed (default 0)")
+    fuzz.add_argument("--iterations", type=int, default=25,
+                      help="number of consecutive seeds to run")
+    fuzz.add_argument("--collector", action="append", default=None,
+                      choices=["minor", "major", "sweep", "g1"],
+                      help="restrict to one collector (repeatable; "
+                           "default: all four, cross-checked)")
+    fuzz.add_argument("--ops", type=int, default=None,
+                      help="schedule length override")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimize a failing schedule and write a "
+                           "reproducer file")
+    fuzz.add_argument("--reproducer", default=None,
+                      help="reproducer path (default "
+                           "fuzz-repro-<seed>.json)")
     return parser
 
 
@@ -200,6 +220,54 @@ def _cmd_report(args) -> str:
     return full_report(platform.device)
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.config import default_fuzz_config
+    from repro.fuzz import fuzz_seed
+    from repro.fuzz.shrink import (failure_predicate, shrink_schedule,
+                                   write_reproducer)
+
+    config = default_fuzz_config()
+    if args.ops:
+        config = config.with_ops(args.ops)
+    collectors = tuple(args.collector) if args.collector \
+        else config.collectors
+    failures = 0
+    infeasible = 0
+    checked = 0
+    for seed in range(args.seed, args.seed + args.iterations):
+        result = fuzz_seed(seed, config, collectors)
+        if result.status == "ok":
+            checked += result.collections_checked
+            print(f"seed {seed}: ok ({result.ops} ops, "
+                  f"{result.collections_checked} collections checked, "
+                  f"{result.live_objects} live objects)")
+            continue
+        if result.status == "infeasible":
+            infeasible += 1
+            print(f"seed {seed}: infeasible ({result.detail})")
+            continue
+        failures += 1
+        failure = result.failure
+        print(f"seed {seed}: FAILED [{failure.collector}] "
+              f"{failure.message}")
+        if args.shrink:
+            fails = failure_predicate(collectors, config)
+            minimized = shrink_schedule(failure.ops, fails,
+                                        rounds=config.shrink_rounds)
+            path = args.reproducer or f"fuzz-repro-{seed}.json"
+            write_reproducer(path, minimized, seed, collectors,
+                             failure.message, config)
+            print(f"  minimized {len(failure.ops)} -> "
+                  f"{len(minimized)} ops; reproducer written to "
+                  f"{path}")
+    verdict = "FAIL" if failures else "ok"
+    print(f"fuzz: {verdict} — {args.iterations} seeds on "
+          f"{'+'.join(collectors)}, {failures} failed, "
+          f"{infeasible} infeasible, {checked} collections "
+          f"oracle-checked")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -231,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_replay(args))
     elif args.command == "report":
         print(_cmd_report(args))
+    elif args.command == "fuzz":
+        return _cmd_fuzz(args)
     return 0
 
 

@@ -10,7 +10,7 @@ reasoning used to choose them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import ConfigError
 from repro.units import GB, KB, MB, NS, gb_per_s
@@ -271,6 +271,68 @@ class CostModelConfig:
     # (~0.1% of a GC); our heaps are scaled by ~256x, so the flushed
     # footprint scales identically to preserve the flush:GC ratio.
     llc_flush_bytes: int = 32 * KB
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for the differential GC fuzzer (:mod:`repro.fuzz`).
+
+    The defaults are sized so a schedule exercises every interesting
+    heap mechanism — survivor aging, promotion, humongous allocation,
+    cross-generational edges, cycles — while staying comfortably inside
+    an 8 MB heap under *all four* collector modes (the worst case is
+    G1's humongous path, which needs contiguous free regions).
+    """
+
+    heap_bytes: int = 8 * MB
+    #: root-table slots the schedule mutates (the fuzzer's "locals").
+    slots: int = 48
+    #: operations per generated schedule.
+    ops: int = 160
+    #: soft cap on slot-held live bytes; above it the generator skews
+    #: towards releases so schedules never exhaust the old generation.
+    live_byte_budget: int = 768 * KB
+    #: payload size of a "large" type array.  Chosen above Eden/4 at the
+    #: default heap so the driver's humongous path (straight-to-Old)
+    #: triggers, and below ~10 G1 regions so the humongous region
+    #: search still succeeds.
+    large_object_bytes: int = 600_000
+    #: at most this many large objects live at once.
+    max_live_large: int = 1
+    #: objArray lengths are drawn from [1, max_array_refs].
+    max_array_refs: int = 24
+    #: typeArray payloads are drawn from [1, max_payload_bytes].
+    max_payload_bytes: int = 256
+    #: probability an op is an explicit collection.
+    gc_probability: float = 0.05
+    #: collector modes the differential runner cross-checks.
+    collectors: Tuple[str, ...] = ("minor", "major", "sweep", "g1")
+    #: greedy passes of the schedule shrinker after prefix bisection.
+    shrink_rounds: int = 4
+
+    def validate(self) -> None:
+        if self.slots < 2:
+            raise ConfigError("fuzzer needs at least 2 root slots")
+        if self.ops < 1:
+            raise ConfigError("fuzz schedules need at least one op")
+        if self.live_byte_budget >= self.heap_bytes:
+            raise ConfigError("live-byte budget must be below the heap "
+                              "size")
+        for name in self.collectors:
+            if name not in ("minor", "major", "sweep", "g1"):
+                raise ConfigError(f"unknown fuzz collector {name!r}")
+
+    def with_heap_bytes(self, heap_bytes: int) -> "FuzzConfig":
+        return replace(self, heap_bytes=heap_bytes)
+
+    def with_ops(self, ops: int) -> "FuzzConfig":
+        return replace(self, ops=ops)
+
+
+def default_fuzz_config() -> FuzzConfig:
+    config = FuzzConfig()
+    config.validate()
+    return config
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,21 @@ class InvalidObjectError(HeapError):
     """An address does not reference a well-formed heap object."""
 
 
+class FuzzError(ReproError):
+    """Base class for the differential-fuzzing subsystem's errors."""
+
+
+class OracleViolation(FuzzError):
+    """A collection broke a correctness invariant the oracle checks
+    (a live object vanished, a reference dangles, field contents
+    changed, or a primitive trace fails a conservation law)."""
+
+
+class InfeasibleSchedule(FuzzError):
+    """A fuzz schedule legitimately exhausted the heap (not a GC bug);
+    the seed is skipped rather than reported as a failure."""
+
+
 class ProtectionFault(ReproError):
     """A memory access violated virtual-memory protection (wrong PCID or
     an unmapped page)."""

@@ -1,0 +1,52 @@
+"""Differential GC fuzzing and invariant verification.
+
+The functional layer's whole value rests on its collectors being
+*correct*: a MinorGC that drops a live object or a MajorGC that
+miscomputes a bitmap destination silently corrupts every downstream
+timing number.  This package turns the hand-written test suite into
+unbounded scenario coverage:
+
+* :mod:`repro.fuzz.generator` — a seeded heap-shape generator that
+  grows randomized object graphs (instances, ref/prim arrays,
+  cross-generational edges, cycles, humongous objects) as a
+  backend-independent *mutation schedule*;
+* :mod:`repro.fuzz.oracle` — a reachability oracle that snapshots the
+  live object graph (identity, field values, topology) before every
+  collection and asserts it is isomorphic afterwards, plus the
+  ``GCTrace`` conservation laws;
+* :mod:`repro.fuzz.executor` — replays one schedule against one
+  collector backend (scavenge-only, mark-compact, mark-sweep, or G1)
+  with the oracle hooked around every collection;
+* :mod:`repro.fuzz.differential` — runs the same schedule under every
+  collector and cross-checks the surviving live sets;
+* :mod:`repro.fuzz.shrink` — minimizes a failing schedule and writes a
+  reproducer file a test can replay.
+
+Entry point: ``python -m repro fuzz --seed N --iterations K``.
+"""
+
+from repro.fuzz.differential import (SeedResult, fuzz_seed,
+                                     run_schedule)
+from repro.fuzz.generator import FuzzOp, build_schedule
+from repro.fuzz.oracle import (GCOracle, LiveSnapshot,
+                               assert_isomorphic,
+                               check_trace_conservation, snapshot_live)
+from repro.fuzz.shrink import (load_reproducer, replay_reproducer,
+                               shrink_schedule, write_reproducer)
+
+__all__ = [
+    "FuzzOp",
+    "GCOracle",
+    "LiveSnapshot",
+    "SeedResult",
+    "assert_isomorphic",
+    "build_schedule",
+    "check_trace_conservation",
+    "fuzz_seed",
+    "load_reproducer",
+    "replay_reproducer",
+    "run_schedule",
+    "shrink_schedule",
+    "snapshot_live",
+    "write_reproducer",
+]

@@ -1,0 +1,138 @@
+"""Differential runner: one schedule, every collector, cross-checked.
+
+Each collector backend replays the same seeded mutation schedule on its
+own fresh heap with the reachability oracle hooked around every
+collection.  Afterwards the runner cross-checks the backends against
+each other: the canonical live-graph fingerprint after every explicit
+``gc`` op — and at the end of the schedule — must agree across all of
+them, because the schedule defines the logical heap state and a correct
+collector must preserve it no matter how it moves objects around.
+
+A schedule that exhausts the heap under some backend is *infeasible*
+(reported, skipped) rather than a failure: heap exhaustion is a
+schedule-sizing artifact, not a collector bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import FuzzConfig, default_fuzz_config
+from repro.errors import (FuzzError, HeapError, InfeasibleSchedule,
+                          OracleViolation)
+from repro.fuzz.executor import (COLLECTOR_MODES, ExecutionResult,
+                                 ScheduleExecutor)
+from repro.fuzz.generator import FuzzOp, build_schedule
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation or cross-collector divergence."""
+
+    seed: Optional[int]
+    collector: str
+    message: str
+    ops: List[FuzzOp] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} collector={self.collector} "
+                f"ops={len(self.ops)}: {self.message}")
+
+
+@dataclass
+class SeedResult:
+    """Outcome of one seed across all requested collectors."""
+
+    seed: Optional[int]
+    status: str  #: "ok" | "infeasible" | "failed"
+    collectors: Tuple[str, ...] = ()
+    ops: int = 0
+    collections_checked: int = 0
+    live_objects: int = 0
+    failure: Optional[FuzzFailure] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def run_schedule(ops: Sequence[FuzzOp], collector: str,
+                 config: Optional[FuzzConfig] = None,
+                 use_oracle: bool = True,
+                 seed: Optional[int] = None) -> ExecutionResult:
+    """Replay ``ops`` under one collector with the oracle installed."""
+    config = config or default_fuzz_config()
+    executor = ScheduleExecutor(collector, config,
+                                use_oracle=use_oracle, seed=seed)
+    return executor.execute(list(ops))
+
+
+def _cross_check(results: Dict[str, ExecutionResult]) -> None:
+    """All backends must agree on every differential fingerprint."""
+    names = list(results)
+    base = results[names[0]]
+    for name in names[1:]:
+        other = results[name]
+        if other.final_fingerprint != base.final_fingerprint:
+            raise OracleViolation(
+                f"final live graphs diverge: {names[0]} "
+                f"({base.live_objects} objects) vs {name} "
+                f"({other.live_objects} objects)")
+        if len(other.gc_fingerprints) != len(base.gc_fingerprints):
+            raise OracleViolation(
+                f"{names[0]} ran {len(base.gc_fingerprints)} explicit "
+                f"GCs but {name} ran {len(other.gc_fingerprints)}")
+        for index, (a, b) in enumerate(zip(base.gc_fingerprints,
+                                           other.gc_fingerprints)):
+            if a != b:
+                raise OracleViolation(
+                    f"live graphs diverge after explicit GC #{index}: "
+                    f"{names[0]} vs {name}")
+
+
+def run_seed(seed: int, config: Optional[FuzzConfig] = None,
+             collectors: Optional[Sequence[str]] = None) -> SeedResult:
+    """Build the schedule for ``seed`` and run it differentially."""
+    config = config or default_fuzz_config()
+    collectors = tuple(collectors or config.collectors)
+    for name in collectors:
+        if name not in COLLECTOR_MODES:
+            raise FuzzError(f"unknown collector {name!r}; choose from "
+                            f"{', '.join(COLLECTOR_MODES)}")
+    ops = build_schedule(seed, config)
+    results: Dict[str, ExecutionResult] = {}
+    for name in collectors:
+        try:
+            results[name] = run_schedule(ops, name, config, seed=seed)
+        except InfeasibleSchedule as error:
+            return SeedResult(seed=seed, status="infeasible",
+                              collectors=collectors, ops=len(ops),
+                              detail=str(error))
+        except (FuzzError, HeapError) as error:
+            # HeapError outside the guarded OOM paths means the
+            # mutator tripped over corruption a collection left behind
+            # — as much a finding as an explicit oracle violation.
+            return SeedResult(
+                seed=seed, status="failed", collectors=collectors,
+                ops=len(ops),
+                failure=FuzzFailure(seed=seed, collector=name,
+                                    message=str(error), ops=ops))
+    try:
+        _cross_check(results)
+    except OracleViolation as error:
+        return SeedResult(
+            seed=seed, status="failed", collectors=collectors,
+            ops=len(ops),
+            failure=FuzzFailure(seed=seed, collector="differential",
+                                message=str(error), ops=ops))
+    checked = sum(r.collections_checked for r in results.values())
+    any_result = results[collectors[0]]
+    return SeedResult(seed=seed, status="ok", collectors=collectors,
+                      ops=len(ops), collections_checked=checked,
+                      live_objects=any_result.live_objects)
+
+
+#: Backwards-friendly alias: a "fuzz" of one seed is one differential run.
+fuzz_seed = run_seed

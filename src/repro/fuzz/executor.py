@@ -1,0 +1,245 @@
+"""Replay a fuzz schedule against one collector backend.
+
+The executor owns the mapping from schedule slots to root-table
+entries; backends own allocation and collection policy:
+
+* ``minor`` — the :class:`~repro.workloads.mutator.MutatorDriver`
+  allocation front-end, explicit GCs are scavenges (with the driver's
+  full-GC fallback when promotion is unsafe);
+* ``major`` — same front-end, explicit GCs are mark-compact;
+* ``sweep`` — same front-end, explicit GCs are mark-sweep over the old
+  generation (young-generation pressure still triggers implicit
+  scavenges through the allocation path);
+* ``g1`` — the regional collector's own allocator and cycle.
+
+Every backend installs the :class:`~repro.fuzz.oracle.GCOracle` hooks
+around *every* collection — explicit schedule ops and the implicit
+allocation-failure ones alike — so a single schedule exercises the
+oracle dozens of times.
+
+Ops referencing empty slots degrade to no-ops.  That keeps arbitrary
+subsequences of a schedule executable, which is what lets the shrinker
+delete ops freely while hunting for a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import FuzzConfig, HeapConfig
+from repro.errors import InfeasibleSchedule, OutOfMemoryError
+from repro.fuzz.generator import FuzzOp
+from repro.fuzz.oracle import GCOracle, snapshot_live
+from repro.gcalgo.g1 import G1Collector
+from repro.gcalgo.trace import GCTrace
+from repro.heap.heap import JavaHeap
+from repro.heap.klass import KlassKind
+from repro.workloads.base import workload_klasses
+from repro.workloads.mutator import MutatorDriver
+
+COLLECTOR_MODES = ("minor", "major", "sweep", "g1")
+
+
+def build_fuzz_heap(config: FuzzConfig) -> JavaHeap:
+    """A fresh heap with the shared workload klasses."""
+    return JavaHeap(HeapConfig(heap_bytes=config.heap_bytes),
+                    klasses=workload_klasses())
+
+
+class DriverBackend:
+    """Classic-layout backend over the MutatorDriver front-end."""
+
+    def __init__(self, heap: JavaHeap, mode: str,
+                 oracle: Optional[GCOracle]) -> None:
+        self.heap = heap
+        self.mode = mode
+        self.driver = MutatorDriver(heap, run_name=f"fuzz-{mode}")
+        if oracle is not None:
+            self.driver.pre_gc_hooks.append(oracle.before)
+            self.driver.post_gc_hooks.append(oracle.after)
+
+    def allocate(self, klass_name: str, length: Optional[int],
+                 old: bool) -> int:
+        if not old:
+            return self.driver.allocate(klass_name, length=length).addr
+        # Direct old-generation allocation (the cross-generational
+        # pressure source); a full collection is the only way to make
+        # room there.
+        for attempt in range(2):
+            try:
+                return self.heap.new_object(
+                    klass_name, length=length,
+                    space=self.heap.layout.old).addr
+            except OutOfMemoryError:
+                if attempt:
+                    raise
+                self.driver.major_gc()
+        raise OutOfMemoryError("old-generation fuzz allocation failed")
+
+    def explicit_gc(self) -> GCTrace:
+        if self.mode == "minor":
+            return self.driver.minor_gc()
+        if self.mode == "major":
+            return self.driver.major_gc()
+        return self.driver.sweep_gc()
+
+    @property
+    def traces(self) -> List[GCTrace]:
+        return self.driver.run.traces
+
+
+class G1Backend:
+    """Regional-collector backend (its own allocator and cycle)."""
+
+    def __init__(self, heap: JavaHeap,
+                 oracle: Optional[GCOracle]) -> None:
+        self.heap = heap
+        self.collector = G1Collector(heap)
+        if oracle is not None:
+            self.collector.pre_collect_hooks.append(oracle.before)
+            self.collector.post_collect_hooks.append(oracle.after)
+
+    def allocate(self, klass_name: str, length: Optional[int],
+                 old: bool) -> int:
+        # G1 has no old-generation bump space; ``old`` placement is a
+        # classic-layout notion, and the regional collector reaches the
+        # same logical heap state through its normal allocator.
+        return self.collector.allocate(klass_name, length=length).addr
+
+    def explicit_gc(self) -> GCTrace:
+        return self.collector.collect()
+
+    @property
+    def traces(self) -> List[GCTrace]:
+        return self.collector.traces
+
+
+def make_backend(mode: str, heap: JavaHeap,
+                 oracle: Optional[GCOracle]):
+    if mode == "g1":
+        return G1Backend(heap, oracle)
+    if mode in ("minor", "major", "sweep"):
+        return DriverBackend(heap, mode, oracle)
+    raise InfeasibleSchedule(f"unknown collector mode {mode!r}")
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one schedule replay produced."""
+
+    collector: str
+    seed: Optional[int]
+    final_fingerprint: str
+    #: live-graph fingerprint recorded after each *explicit* gc op
+    #: (implicit collections differ across collectors and are checked
+    #: by the oracle, not compared differentially).
+    gc_fingerprints: List[str] = field(default_factory=list)
+    collections_checked: int = 0
+    traces: List[GCTrace] = field(default_factory=list)
+    heap: Optional[JavaHeap] = None
+    live_objects: int = 0
+    live_bytes: int = 0
+
+
+class ScheduleExecutor:
+    """Drive one schedule through one backend."""
+
+    def __init__(self, mode: str, config: FuzzConfig,
+                 use_oracle: bool = True,
+                 seed: Optional[int] = None) -> None:
+        config.validate()
+        self.config = config
+        self.mode = mode
+        self.seed = seed
+        self.heap = build_fuzz_heap(config)
+        # G1 lays regions over the whole range, so the classic-layout
+        # space walker does not apply there.
+        self.oracle = GCOracle(verify_spaces=(mode != "g1")) \
+            if use_oracle else None
+        self.backend = make_backend(mode, self.heap, self.oracle)
+        # Schedule slots map 1:1 onto the first ``config.slots`` root
+        # table entries; collectors keep them updated like any root.
+        self.heap.roots.extend([0] * config.slots)
+
+    # -- op handlers -------------------------------------------------------
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.heap.roots[slot]
+
+    def _do_alloc(self, op: FuzzOp, old: bool) -> None:
+        try:
+            addr = self.backend.allocate(op.klass, op.length, old)
+        except OutOfMemoryError as error:
+            # Heap exhaustion under a *correct* collector is a
+            # schedule-sizing problem, not a GC bug.
+            raise InfeasibleSchedule(
+                f"[{self.mode}] schedule exhausted the heap: "
+                f"{error}") from error
+        self.heap.roots[op.slot] = addr
+
+    def _do_link(self, op: FuzzOp, target_addr: int) -> None:
+        src = self._slot_addr(op.slot)
+        if src == 0:
+            return
+        view = self.heap.object_at(src)
+        if view.klass.kind is KlassKind.OBJ_ARRAY:
+            if not view.length:
+                return
+            self.heap.array_store(src, op.index % view.length,
+                                  target_addr)
+            return
+        slots = view.reference_slots()
+        if not slots:
+            return
+        self.heap.set_field(view, op.index % len(slots), target_addr)
+
+    def _do_payload(self, op: FuzzOp) -> None:
+        addr = self._slot_addr(op.slot)
+        if addr == 0:
+            return
+        view = self.heap.object_at(addr)
+        if view.klass.kind is not KlassKind.TYPE_ARRAY or not view.length:
+            return
+        size = min(view.length, self.config.max_payload_bytes)
+        pattern = bytes((op.value + i) & 0xFF for i in range(size))
+        self.heap.write_payload(view, pattern)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, ops: List[FuzzOp]) -> ExecutionResult:
+        result = ExecutionResult(collector=self.mode, seed=self.seed,
+                                 final_fingerprint="")
+        for op in ops:
+            if op.kind == "alloc":
+                self._do_alloc(op, old=False)
+            elif op.kind in ("alloc_old", "alloc_large"):
+                self._do_alloc(op, old=(op.kind == "alloc_old"))
+            elif op.kind == "link":
+                self._do_link(op, self._slot_addr(op.target))
+            elif op.kind == "unlink":
+                self._do_link(op, 0)
+            elif op.kind == "payload":
+                self._do_payload(op)
+            elif op.kind == "release":
+                self.heap.roots[op.slot] = 0
+            elif op.kind == "gc":
+                try:
+                    self.backend.explicit_gc()
+                except OutOfMemoryError as error:
+                    raise InfeasibleSchedule(
+                        f"[{self.mode}] explicit GC ran out of "
+                        f"memory: {error}") from error
+                result.gc_fingerprints.append(
+                    snapshot_live(self.heap).fingerprint())
+            else:
+                raise InfeasibleSchedule(f"unknown op {op.kind!r}")
+        final = snapshot_live(self.heap)
+        result.final_fingerprint = final.fingerprint()
+        result.live_objects = len(final.nodes)
+        result.live_bytes = final.total_bytes
+        result.traces = list(self.backend.traces)
+        result.heap = self.heap
+        if self.oracle is not None:
+            result.collections_checked = self.oracle.collections
+        return result

@@ -1,0 +1,251 @@
+"""Seeded heap-shape generator: randomized mutation schedules.
+
+A *schedule* is a flat list of :class:`FuzzOp` records over a fixed set
+of root-table slots.  Ops only name slots — never raw addresses — so
+the same schedule replays identically under any collector backend (the
+whole point of the differential runner) and any subsequence remains
+executable (the whole point of the shrinker: ops whose slots turn out
+empty degrade to no-ops).
+
+The generator deliberately produces the shapes that break collectors:
+
+* **instances** of every workload klass plus ref/prim arrays;
+* **cycles** — a link op may target any live slot, including its own
+  source, and links go both forward and backward in allocation order;
+* **cross-generational edges** — ``alloc_old`` places objects directly
+  in the old generation, and linking them to young objects exercises
+  the card-table write barrier;
+* **large objects** spilling Eden (the driver's humongous path / G1's
+  contiguous-region path);
+* **garbage** at every age — releases and overwrites throughout, so
+  collections always have something to reclaim.
+
+Determinism: the schedule is a pure function of ``(seed, FuzzConfig)``
+through one ``random.Random`` instance; nothing about the heap feeds
+back into generation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import FuzzConfig
+from repro.heap.klass import ARRAY_ELEMENTS_OFFSET, HEADER_BYTES
+from repro.units import WORD, align_up
+
+#: instance klasses the schedule allocates (name -> reference arity).
+#: These are the shared workload klasses every fuzz heap defines.
+INSTANCE_KLASSES: Dict[str, int] = {
+    "Record": 2,
+    "Vertex": 3,
+    "Box": 1,
+    "Message": 2,
+}
+
+#: klasses with at least one reference slot (valid link sources).
+_LINKABLE = tuple(INSTANCE_KLASSES) + ("objArray",)
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One schedule step.  Field use depends on ``kind``:
+
+    * ``alloc`` / ``alloc_old`` — allocate ``klass`` (``length`` for
+      arrays) and store its address in root ``slot``;
+    * ``alloc_large`` — a type array of ``length`` payload bytes, big
+      enough to take the humongous path;
+    * ``link`` — store root ``target``'s address into reference slot
+      ``index`` of root ``slot``'s object;
+    * ``unlink`` — null reference slot ``index`` of root ``slot``;
+    * ``payload`` — fill root ``slot``'s type-array payload with a
+      pattern derived from ``value``;
+    * ``release`` — null root ``slot``;
+    * ``gc`` — one explicit collection (whatever the backend runs).
+    """
+
+    kind: str
+    slot: int = 0
+    klass: str = ""
+    length: Optional[int] = None
+    index: int = 0
+    target: int = 0
+    value: int = 0
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        for name in ("slot", "klass", "length", "index", "target",
+                     "value"):
+            field_value = getattr(self, name)
+            if field_value not in (0, "", None):
+                out[name] = field_value
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "FuzzOp":
+        return FuzzOp(**data)
+
+
+@dataclass
+class _Slot:
+    """What the generator believes a root slot holds."""
+
+    klass: str
+    length: Optional[int]
+    size_bytes: int
+    large: bool = False
+
+
+def _instance_size(ref_fields: int, prim_fields: int = 2) -> int:
+    return HEADER_BYTES + (ref_fields + prim_fields) * WORD
+
+
+def _array_size(klass: str, length: int) -> int:
+    if klass == "objArray":
+        return ARRAY_ELEMENTS_OFFSET + length * WORD
+    return ARRAY_ELEMENTS_OFFSET + align_up(length, WORD)
+
+
+class ScheduleBuilder:
+    """Grow one deterministic schedule from a seed."""
+
+    def __init__(self, seed: int, config: FuzzConfig) -> None:
+        config.validate()
+        self.rng = random.Random(seed)
+        self.config = config
+        self.slots: List[Optional[_Slot]] = [None] * config.slots
+        self.live_bytes = 0
+        self.live_large = 0
+        self.ops: List[FuzzOp] = []
+
+    # -- slot bookkeeping --------------------------------------------------
+
+    def _live_slots(self) -> List[int]:
+        return [i for i, s in enumerate(self.slots) if s is not None]
+
+    def _drop(self, slot: int) -> None:
+        state = self.slots[slot]
+        if state is not None:
+            self.live_bytes -= state.size_bytes
+            if state.large:
+                self.live_large -= 1
+            self.slots[slot] = None
+
+    def _install(self, slot: int, state: _Slot) -> None:
+        self._drop(slot)
+        self.slots[slot] = state
+        self.live_bytes += state.size_bytes
+        if state.large:
+            self.live_large += 1
+
+    # -- op emitters -------------------------------------------------------
+
+    def _emit_alloc(self, old: bool) -> None:
+        rng = self.rng
+        slot = rng.randrange(self.config.slots)
+        choice = rng.random()
+        if choice < 0.55:
+            klass = rng.choice(tuple(INSTANCE_KLASSES))
+            length = None
+            size = _instance_size(INSTANCE_KLASSES[klass])
+        elif choice < 0.80:
+            klass = "objArray"
+            length = rng.randint(1, self.config.max_array_refs)
+            size = _array_size(klass, length)
+        else:
+            klass = "typeArray"
+            length = rng.randint(1, self.config.max_payload_bytes)
+            size = _array_size(klass, length)
+        kind = "alloc_old" if old else "alloc"
+        self.ops.append(FuzzOp(kind, slot=slot, klass=klass,
+                               length=length))
+        self._install(slot, _Slot(klass, length, size))
+
+    def _emit_alloc_large(self) -> None:
+        slot = self.rng.randrange(self.config.slots)
+        length = self.config.large_object_bytes
+        self.ops.append(FuzzOp("alloc_large", slot=slot,
+                               klass="typeArray", length=length))
+        self._install(slot, _Slot("typeArray", length,
+                                  _array_size("typeArray", length),
+                                  large=True))
+
+    def _emit_link(self, unlink: bool = False) -> bool:
+        sources = [i for i in self._live_slots()
+                   if self.slots[i].klass in _LINKABLE]
+        if not sources:
+            return False
+        src = self.rng.choice(sources)
+        state = self.slots[src]
+        if state.klass == "objArray":
+            index = self.rng.randrange(state.length)
+        else:
+            index = self.rng.randrange(INSTANCE_KLASSES[state.klass])
+        if unlink:
+            self.ops.append(FuzzOp("unlink", slot=src, index=index))
+        else:
+            # Any live slot is a valid target, including src itself
+            # (self-cycles) and slots allocated later (back edges).
+            target = self.rng.choice(self._live_slots())
+            self.ops.append(FuzzOp("link", slot=src, index=index,
+                                   target=target))
+        return True
+
+    def _emit_payload(self) -> bool:
+        arrays = [i for i in self._live_slots()
+                  if self.slots[i].klass == "typeArray"]
+        if not arrays:
+            return False
+        slot = self.rng.choice(arrays)
+        self.ops.append(FuzzOp("payload", slot=slot,
+                               value=self.rng.randrange(256)))
+        return True
+
+    def _emit_release(self) -> bool:
+        live = self._live_slots()
+        if not live:
+            return False
+        slot = self.rng.choice(live)
+        self.ops.append(FuzzOp("release", slot=slot))
+        self._drop(slot)
+        return True
+
+    # -- the schedule ------------------------------------------------------
+
+    def build(self) -> List[FuzzOp]:
+        config = self.config
+        rng = self.rng
+        for _ in range(config.ops):
+            over_budget = self.live_bytes > config.live_byte_budget
+            roll = rng.random()
+            if over_budget and roll < 0.6:
+                if self._emit_release():
+                    continue
+            if roll < 0.30:
+                self._emit_alloc(old=False)
+            elif roll < 0.38 and not over_budget:
+                self._emit_alloc(old=True)
+            elif roll < 0.40 and not over_budget \
+                    and self.live_large < config.max_live_large:
+                self._emit_alloc_large()
+            elif roll < 0.63:
+                if not self._emit_link():
+                    self._emit_alloc(old=False)
+            elif roll < 0.71:
+                if not self._emit_link(unlink=True):
+                    self._emit_release() or self._emit_alloc(old=False)
+            elif roll < 0.81:
+                if not self._emit_payload():
+                    self._emit_alloc(old=False)
+            elif roll < 0.81 + config.gc_probability:
+                self.ops.append(FuzzOp("gc"))
+            else:
+                if not self._emit_release():
+                    self._emit_alloc(old=False)
+        return self.ops
+
+
+def build_schedule(seed: int, config: FuzzConfig) -> List[FuzzOp]:
+    """The deterministic schedule for ``(seed, config)``."""
+    return ScheduleBuilder(seed, config).build()

@@ -1,0 +1,170 @@
+"""Failing-schedule minimization and reproducer files.
+
+When a seed fails, the raw schedule is long (hundreds of ops) and most
+of it is noise.  The shrinker exploits the schedule property that any
+subsequence stays executable (ops on empty slots are no-ops):
+
+1. **prefix bisection** — binary-search the shortest failing prefix,
+   since a failure at op *k* can't depend on ops after *k*;
+2. **greedy removal** — repeatedly drop single ops (then pairs from a
+   later round) and keep every deletion that still fails.
+
+The result is written as a JSON *reproducer* recording the minimized
+ops, the originating seed and config, and the failure message, so a
+regression test can replay the exact scenario without re-running the
+generator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.config import FuzzConfig, default_fuzz_config
+from repro.errors import FuzzError, HeapError, InfeasibleSchedule
+from repro.fuzz.executor import ExecutionResult
+from repro.fuzz.generator import FuzzOp
+
+REPRODUCER_VERSION = 1
+
+#: a predicate deciding whether a candidate schedule still fails.
+FailsPredicate = Callable[[List[FuzzOp]], bool]
+
+
+def failure_predicate(collectors: Sequence[str],
+                      config: Optional[FuzzConfig] = None
+                      ) -> FailsPredicate:
+    """The default predicate: does any collector (or the differential
+    cross-check) reject this schedule?  Infeasible candidates count as
+    non-failing — shrinking must preserve the *bug*, not the OOM."""
+    from repro.fuzz.differential import _cross_check, run_schedule
+    config = config or default_fuzz_config()
+
+    def fails(ops: List[FuzzOp]) -> bool:
+        results = {}
+        try:
+            for name in collectors:
+                results[name] = run_schedule(ops, name, config)
+            if len(results) > 1:
+                _cross_check(results)
+        except InfeasibleSchedule:
+            return False
+        except (FuzzError, HeapError):
+            return True
+        return False
+
+    return fails
+
+
+def shrink_schedule(ops: Sequence[FuzzOp], fails: FailsPredicate,
+                    rounds: int = 4) -> List[FuzzOp]:
+    """Minimize ``ops`` while ``fails`` keeps returning True.
+
+    ``fails(list(ops))`` must be True on entry; the returned schedule
+    is guaranteed to still satisfy it.
+    """
+    current = list(ops)
+    if not fails(current):
+        raise FuzzError("shrink_schedule called with a passing schedule")
+
+    # Phase 1: shortest failing prefix by bisection.
+    low, high = 1, len(current)
+    while low < high:
+        mid = (low + high) // 2
+        if fails(current[:mid]):
+            high = mid
+        else:
+            low = mid + 1
+    current = current[:high]
+
+    # Phase 2: greedy deletion, widening chunks each round.
+    for round_index in range(rounds):
+        chunk = max(1, len(current) >> (rounds - 1 - round_index)) \
+            if round_index < rounds - 1 else 1
+        changed = True
+        while changed:
+            changed = False
+            index = 0
+            while index < len(current):
+                candidate = current[:index] + current[index + chunk:]
+                if candidate and fails(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    index += 1
+        if len(current) <= 1:
+            break
+    return current
+
+
+# -- reproducer files ------------------------------------------------------
+
+
+def write_reproducer(path: Union[str, Path], ops: Sequence[FuzzOp],
+                     seed: Optional[int], collectors: Sequence[str],
+                     message: str,
+                     config: Optional[FuzzConfig] = None) -> Path:
+    """Serialize a minimized failing schedule to ``path``."""
+    config = config or default_fuzz_config()
+    payload = {
+        "version": REPRODUCER_VERSION,
+        "seed": seed,
+        "collectors": list(collectors),
+        "message": message,
+        "config": {
+            "heap_bytes": config.heap_bytes,
+            "slots": config.slots,
+            "max_payload_bytes": config.max_payload_bytes,
+        },
+        "ops": [op.to_dict() for op in ops],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_reproducer(path: Union[str, Path]) -> dict:
+    """Parse a reproducer file back into ops + metadata."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != REPRODUCER_VERSION:
+        raise FuzzError(f"unsupported reproducer version "
+                        f"{data.get('version')!r} in {path}")
+    data["ops"] = [FuzzOp.from_dict(op) for op in data["ops"]]
+    return data
+
+
+def replay_reproducer(path: Union[str, Path],
+                      config: Optional[FuzzConfig] = None
+                      ) -> List[ExecutionResult]:
+    """Re-run a reproducer under its recorded collectors.
+
+    Raises the original failure class (:class:`OracleViolation` etc.)
+    if the bug is still present; returns the per-collector results if
+    the scenario now passes.
+    """
+    from repro.fuzz.differential import _cross_check, run_schedule
+    data = load_reproducer(path)
+    base = config or default_fuzz_config()
+    saved = data.get("config", {})
+    run_config = FuzzConfig(
+        heap_bytes=saved.get("heap_bytes", base.heap_bytes),
+        slots=saved.get("slots", base.slots),
+        ops=base.ops,
+        live_byte_budget=base.live_byte_budget,
+        large_object_bytes=base.large_object_bytes,
+        max_live_large=base.max_live_large,
+        max_array_refs=base.max_array_refs,
+        max_payload_bytes=saved.get("max_payload_bytes",
+                                    base.max_payload_bytes),
+        gc_probability=base.gc_probability,
+        collectors=base.collectors,
+        shrink_rounds=base.shrink_rounds,
+    )
+    results = {}
+    for name in data["collectors"]:
+        results[name] = run_schedule(data["ops"], name, run_config,
+                                     seed=data.get("seed"))
+    if len(results) > 1:
+        _cross_check(results)
+    return list(results.values())

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.gcalgo.stack import ObjectStack
@@ -117,6 +117,13 @@ class G1Collector:
         self._old_allocation_region: Optional[Region] = None
         self.collections = 0
         self.traces: List[GCTrace] = []
+        #: observers fired around every cycle (including the implicit
+        #: ones the allocation slow path triggers); the fuzzing oracle
+        #: hangs its live-graph checks here.
+        self.pre_collect_hooks: List[
+            Callable[[JavaHeap, str], None]] = []
+        self.post_collect_hooks: List[
+            Callable[[JavaHeap, str, GCTrace], None]] = []
 
     # -- region bookkeeping ---------------------------------------------------
 
@@ -192,6 +199,8 @@ class G1Collector:
 
     def collect(self) -> GCTrace:
         """One stop-the-world mark + evacuate cycle."""
+        for hook in self.pre_collect_hooks:
+            hook(self.heap, "g1")
         trace = GCTrace("g1", heap_bytes=self.heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
                        96 * 1024)
@@ -202,6 +211,8 @@ class G1Collector:
         self.traces.append(trace)
         self._allocation_region = None
         self._old_allocation_region = None
+        for hook in self.post_collect_hooks:
+            hook(self.heap, "g1", trace)
         return trace
 
     # -- marking ---------------------------------------------------------------------

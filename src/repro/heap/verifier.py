@@ -17,7 +17,16 @@ Checks:
   head;
 * the remembered-set invariant: an old-generation slot referencing a
   young object lies on a dirty card;
-* roots are null or valid object addresses.
+* the survivor semispaces are disjoint and the To space is *empty*
+  outside a collection (the scavenger evacuates into To and swaps, so
+  a populated To between collections means a swap was missed or an
+  evacuation leaked);
+* roots are null or valid object addresses;
+* optionally (``strict_cards``) the *converse* card invariant: every
+  dirty card covers at least one old-to-young reference.  This only
+  holds right after a collection — a mutator that stores a young
+  reference and later overwrites it legitimately leaves a stale dirty
+  card — so it is opt-in for post-GC verification.
 """
 
 from __future__ import annotations
@@ -38,8 +47,18 @@ def _check_object_head(heap: JavaHeap, addr: int, context: str) -> None:
 
 
 def verify_space(heap: JavaHeap, space: Space,
-                 allow_forwarded: bool = False) -> int:
-    """Verify one space; returns the number of objects walked."""
+                 allow_forwarded: bool = False,
+                 check_refs: bool = True) -> int:
+    """Verify one space; returns the number of objects walked.
+
+    ``check_refs=False`` restricts the walk to parseability and header
+    checks.  Reference targets are only meaningful for spaces that hold
+    no dead objects: after a mark-compact or a sweep, *dead* young
+    objects legitimately keep unadjusted references to old objects that
+    moved (MajorGC pointer-adjusts only the live set, and the sweeper
+    never touches the young generation at all), so their slots must not
+    be dereferenced.
+    """
     cursor = space.start
     count = 0
     while cursor < space.top:
@@ -62,7 +81,7 @@ def verify_space(heap: JavaHeap, space: Space,
             raise HeapError(
                 f"object at {cursor:#x} is forwarded outside a "
                 "collection")
-        for slot in view.reference_slots():
+        for slot in (view.reference_slots() if check_refs else ()):
             target = heap.load_ref(slot)
             if target == 0:
                 continue
@@ -87,16 +106,79 @@ def verify_space(heap: JavaHeap, space: Space,
     return count
 
 
-def verify_heap(heap: JavaHeap, allow_forwarded: bool = False) -> int:
+def verify_survivors(heap: JavaHeap) -> None:
+    """Check survivor From/To disjointness and To-space emptiness.
+
+    The semispaces are distinct address ranges by construction, but a
+    collector bug (a missed swap, an evacuation that left objects
+    behind) manifests as a non-empty To space between collections —
+    exactly the state in which From and To would stop being disjoint
+    at the *next* scavenge.
+    """
+    from_space = heap.layout.survivor_from
+    to_space = heap.layout.survivor_to
+    if from_space is to_space:
+        raise HeapError("survivor From and To are the same space")
+    if max(from_space.start, to_space.start) \
+            < min(from_space.end, to_space.end):
+        raise HeapError(
+            f"survivor spaces overlap: {from_space!r} vs {to_space!r}")
+    if to_space.used:
+        raise HeapError(
+            f"survivor To space {to_space.name!r} holds "
+            f"{to_space.used} bytes outside a collection")
+
+
+def verify_card_table_strict(heap: JavaHeap) -> None:
+    """Check the converse remembered-set invariant: dirty => needed.
+
+    Valid immediately after a collection, when the card table has been
+    cleared and precisely re-dirtied (the scavenger re-dirties through
+    the write barrier while updating promoted slots; mark-compact
+    rebuilds the table from scratch after moving objects).
+    """
+    needed = set()
+    for view in heap.iterate_space(heap.layout.old):
+        if heap.is_filler(view):
+            continue
+        for slot in view.reference_slots():
+            target = heap.load_ref(slot)
+            if target and heap.layout.in_young(target):
+                needed.add(heap.card_table.card_index(slot))
+    dirty = set(int(i) for i in heap.card_table.dirty_card_indices())
+    stale = sorted(dirty - needed)
+    if stale:
+        first = heap.card_table.card_range(stale[0])
+        raise HeapError(
+            f"{len(stale)} dirty card(s) cover no old->young "
+            f"reference (first: card {stale[0]}, range "
+            f"[{first[0]:#x}, {first[1]:#x}))")
+
+
+def verify_heap(heap: JavaHeap, allow_forwarded: bool = False,
+                strict_cards: bool = False,
+                young_refs: bool = True) -> int:
     """Verify every space and the roots; returns total objects walked.
 
     ``allow_forwarded`` permits forwarding pointers (useful when
-    verifying mid-collection states in tests).
+    verifying mid-collection states in tests) and skips the survivor
+    To-emptiness check, which only holds between collections.
+    ``strict_cards`` additionally requires every dirty card to cover an
+    old-to-young reference (valid right after a collection).
+    ``young_refs=False`` skips reference-target checks in the young
+    spaces — required after a mark-compact or sweep, which leave dead
+    young objects behind with stale references (see
+    :func:`verify_space`); a scavenge empties the young generation of
+    dead objects, so the full check is valid only after a MinorGC.
     """
     total = 0
     for space in heap.layout.spaces:
-        total += verify_space(heap, space,
-                              allow_forwarded=allow_forwarded)
+        total += verify_space(
+            heap, space, allow_forwarded=allow_forwarded,
+            check_refs=young_refs or not heap.layout.in_young(
+                space.start))
+    if not allow_forwarded:
+        verify_survivors(heap)
     for index, root in enumerate(heap.roots):
         if root == 0:
             continue
@@ -104,4 +186,6 @@ def verify_heap(heap: JavaHeap, allow_forwarded: bool = False) -> int:
             raise HeapError(
                 f"root[{index}] = {root:#x} points outside the heap")
         _check_object_head(heap, root, f"root[{index}]")
+    if strict_cards:
+        verify_card_table_strict(heap)
     return total

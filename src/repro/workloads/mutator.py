@@ -20,10 +20,11 @@ slots the collectors update in place, exactly like JNI global refs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import OutOfMemoryError
 from repro.gcalgo.mark_compact import MajorGC
+from repro.gcalgo.mark_sweep import MarkSweepGC
 from repro.gcalgo.parallel_scavenge import MinorGC
 from repro.gcalgo.trace import GCTrace
 from repro.heap.heap import JavaHeap
@@ -66,6 +67,7 @@ class WorkloadRun:
     mutator_seconds: float = 0.0
     minor_count: int = 0
     major_count: int = 0
+    sweep_count: int = 0
 
     @property
     def minor_traces(self) -> List[GCTrace]:
@@ -96,6 +98,13 @@ class MutatorDriver:
         #: run the heap verifier after every collection (the
         #: -XX:+VerifyAfterGC analogue; slow, for debugging).
         self.verify_each_gc = verify_each_gc
+        #: observers fired around *every* collection — explicit ones and
+        #: the implicit allocation-failure ones alike.  The fuzzing
+        #: oracle uses these to snapshot the live graph before a
+        #: collection and re-check it afterwards.
+        self.pre_gc_hooks: List[Callable[[JavaHeap, str], None]] = []
+        self.post_gc_hooks: List[
+            Callable[[JavaHeap, str, GCTrace], None]] = []
 
     # -- handles ------------------------------------------------------------
 
@@ -163,17 +172,37 @@ class MutatorDriver:
                 raise OutOfMemoryError(
                     "old generation cannot absorb a worst-case "
                     "promotion even after a full GC; heap too small")
-        trace = MinorGC(self.heap).collect()
-        self.run.traces.append(trace)
-        self.run.minor_count += 1
-        self._maybe_verify()
-        return trace
+        return self._collect("minor")
 
     def major_gc(self) -> GCTrace:
-        trace = MajorGC(self.heap).collect()
+        return self._collect("major")
+
+    def sweep_gc(self) -> GCTrace:
+        """A CMS-style mark-sweep over the old generation.
+
+        Sweeping reclaims old-generation garbage into filler chunks but
+        does not lower the bump pointer; a genuinely full old space
+        still falls back to :meth:`major_gc` through the allocation
+        path.
+        """
+        return self._collect("sweep")
+
+    def _collect(self, kind: str) -> GCTrace:
+        for hook in self.pre_gc_hooks:
+            hook(self.heap, kind)
+        if kind == "minor":
+            trace = MinorGC(self.heap).collect()
+            self.run.minor_count += 1
+        elif kind == "major":
+            trace = MajorGC(self.heap).collect()
+            self.run.major_count += 1
+        else:
+            trace = MarkSweepGC(self.heap).collect()
+            self.run.sweep_count += 1
         self.run.traces.append(trace)
-        self.run.major_count += 1
         self._maybe_verify()
+        for hook in self.post_gc_hooks:
+            hook(self.heap, kind, trace)
         return trace
 
     def _maybe_verify(self) -> None:

@@ -55,3 +55,40 @@ class TestReplayDeterminism:
                 walls.add(TraceReplayer(platform)
                           .replay_all(run.traces).wall_seconds)
             assert len(walls) == 1
+
+
+class TestFuzzDeterminism:
+    """Same seed => byte-identical heaps and identical traces.
+
+    The fuzz subsystem's shrinker and reproducer files depend on
+    schedules being pure functions of (seed, config), and the
+    differential runner depends on each backend being deterministic
+    given a schedule.
+    """
+
+    def test_same_seed_byte_identical_heap(self):
+        import numpy as np
+        from repro.config import default_fuzz_config
+        from repro.fuzz import build_schedule
+        from repro.fuzz.differential import run_schedule
+
+        config = default_fuzz_config()
+        ops = build_schedule(11, config)
+        runs = [run_schedule(ops, "minor", config, seed=11)
+                for _ in range(2)]
+        assert np.array_equal(runs[0].heap.buffer, runs[1].heap.buffer)
+        assert runs[0].heap.roots == runs[1].heap.roots
+        assert runs[0].final_fingerprint == runs[1].final_fingerprint
+
+    def test_same_seed_identical_trace_summaries(self):
+        from repro.config import default_fuzz_config
+        from repro.fuzz import build_schedule
+        from repro.fuzz.differential import run_schedule
+
+        config = default_fuzz_config()
+        ops = build_schedule(11, config)
+        for collector in ("minor", "major", "sweep", "g1"):
+            runs = [run_schedule(ops, collector, config, seed=11)
+                    for _ in range(2)]
+            assert [t.summary() for t in runs[0].traces] == \
+                [t.summary() for t in runs[1].traces], collector

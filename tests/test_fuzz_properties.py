@@ -1,0 +1,113 @@
+"""Property tests for the arithmetic the fuzz oracle leans on.
+
+The oracle's trace-conservation laws trust two pieces of pure
+arithmetic: the Bitmap Count datapath (``bitmap_math``) and the
+array-scan chunking (``trace.chunk_refs``).  Hypothesis checks both
+against naive reference implementations over arbitrary inputs.
+
+``derandomize=True`` keeps the examples reproducible in CI; these are
+exhaustive-ish algebraic checks, not another fuzzer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap_math import (popcount64, streaming_live_words,
+                                    words_for_bits)
+from repro.gcalgo.trace import ARRAY_SCAN_CHUNK, chunk_refs
+from repro.heap.mark_bitmap import MarkBitmaps
+from repro.units import WORD
+
+SETTINGS = settings(max_examples=100, deadline=None, derandomize=True)
+
+words64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+#: random non-overlapping object layouts as (gap_words, size_words)
+#: runs; sizes are at least 1 word, gaps may be zero.
+layouts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=12),
+              st.integers(min_value=1, max_value=20)),
+    min_size=0, max_size=12)
+
+
+def build_bitmaps(layout):
+    """Materialize a layout as MarkBitmaps plus the object list."""
+    objects = []
+    cursor = 0
+    for gap, size in layout:
+        cursor += gap
+        objects.append((cursor, size))
+        cursor += size
+    total_words = max(cursor + 1, 8)
+    bitmaps = MarkBitmaps(0, total_words * WORD)
+    for start, size in objects:
+        bitmaps.mark_object(start * WORD, size * WORD)
+    return bitmaps, objects, total_words
+
+
+class TestPopcount:
+    @SETTINGS
+    @given(words64)
+    def test_matches_bit_by_bit(self, word):
+        assert popcount64(word) == sum((word >> i) & 1
+                                       for i in range(64))
+
+    @SETTINGS
+    @given(words64, words64)
+    def test_disjoint_or_is_additive(self, a, b):
+        assert popcount64(a & ~b & ((1 << 64) - 1)) \
+            + popcount64(b) == popcount64((a | b))
+
+
+class TestStreamingLiveWords:
+    @SETTINGS
+    @given(layouts, st.data())
+    def test_matches_naive_walk(self, layout, data):
+        bitmaps, _, total_words = build_bitmaps(layout)
+        lo = data.draw(st.integers(0, total_words - 1), label="lo")
+        hi = data.draw(st.integers(lo + 1, total_words), label="hi")
+        start, end = lo * WORD, hi * WORD
+        naive = bitmaps.naive_live_words_in_range(start, end)
+        beg_int, end_int, num_bits = bitmaps.range_bits(start, end)
+        mask = (1 << 64) - 1
+        beg_words = [(beg_int >> (64 * i)) & mask
+                     for i in range(words_for_bits(num_bits))]
+        end_words = [(end_int >> (64 * i)) & mask
+                     for i in range(words_for_bits(num_bits))]
+        streamed = streaming_live_words(
+            beg_words, end_words, num_bits,
+            inside_at_start=bitmaps.inside_object(start))
+        assert streamed == naive
+        assert bitmaps.live_words_in_range_fast(start, end) == naive
+
+    @SETTINGS
+    @given(layouts)
+    def test_full_range_counts_every_object_word(self, layout):
+        bitmaps, objects, total_words = build_bitmaps(layout)
+        expected = sum(size for _, size in objects)
+        assert bitmaps.naive_live_words_in_range(
+            0, total_words * WORD) == expected
+        assert bitmaps.live_words_in_range_fast(
+            0, total_words * WORD) == expected
+
+
+class TestChunkRefs:
+    @SETTINGS
+    @given(st.integers(0, 4000), st.data())
+    def test_chunks_conserve_refs_and_pushes(self, refs, data):
+        pushes = data.draw(st.integers(0, refs), label="pushes")
+        chunks = list(chunk_refs(refs, pushes))
+        assert sum(c for c, _ in chunks) == refs
+        assert sum(p for _, p in chunks) == pushes
+
+    @SETTINGS
+    @given(st.integers(0, 4000), st.data())
+    def test_chunks_respect_scan_limit(self, refs, data):
+        pushes = data.draw(st.integers(0, refs), label="pushes")
+        for chunk, chunk_pushes in chunk_refs(refs, pushes):
+            assert 0 <= chunk <= ARRAY_SCAN_CHUNK
+            assert 0 <= chunk_pushes <= chunk
+
+    def test_single_small_scan_is_one_chunk(self):
+        assert list(chunk_refs(3, 2)) == [(3, 2)]
+        assert list(chunk_refs(0, 0)) == [(0, 0)]
