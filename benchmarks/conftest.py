@@ -6,13 +6,25 @@ written under ``benchmarks/results/`` so EXPERIMENTS.md can be checked
 against a fresh run.  Workload traces are produced once per session and
 shared through :mod:`repro.experiments.runner`'s cache, so the full
 suite replays each workload on each platform exactly once.
+
+Captured traces also persist across sessions: unless the caller
+already pointed ``REPRO_TRACE_CACHE`` somewhere, the content-addressed
+trace cache lives in ``benchmarks/.trace-cache``, so a second
+benchmark run skips every collector execution and goes straight to
+replay.  The session footer prints the cache hit/miss tally.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
+from repro.config import TRACE_CACHE_ENV
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+os.environ.setdefault(TRACE_CACHE_ENV,
+                      str(pathlib.Path(__file__).parent / ".trace-cache"))
 
 
 def publish(name: str, text: str) -> None:
@@ -30,3 +42,8 @@ def run_once(benchmark, func):
     repetition would only re-measure the memoisation layer.
     """
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from repro.experiments import trace_cache
+    terminalreporter.write_line(trace_cache.stats_line())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Benchmark smoke: prove the trace cache makes replays capture-free.
+
+Runs ``benchmarks/bench_fig12_speedup.py`` twice on a tiny two-workload
+grid against a fresh cache directory:
+
+1. the first run captures the workload traces and stores them in the
+   content-addressed cache;
+2. the second run sets ``REPRO_TRACE_CACHE_REQUIRE``, under which any
+   cache miss raises instead of re-running a collector — so a passing
+   second run *is* the proof of zero collector re-execution.  The
+   session footer's cache tally is checked on top ("0 run(s)
+   generated", at least one hit).
+
+Exit status 0 on success; any failure prints the offending pytest
+output.  Used by the CI ``bench-smoke`` job; runnable locally with
+``python scripts/bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SMOKE_WORKLOADS = "spark-km,graphchi-cc"
+
+
+def run_bench(cache_dir: str, require: bool) -> str:
+    env = dict(os.environ)
+    env["REPRO_TRACE_CACHE"] = cache_dir
+    env["REPRO_WORKLOADS"] = SMOKE_WORKLOADS
+    env.pop("REPRO_TRACE_CACHE_REQUIRE", None)
+    if require:
+        env["REPRO_TRACE_CACHE_REQUIRE"] = "1"
+    process = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q",
+         str(REPO / "benchmarks" / "bench_fig12_speedup.py")],
+        cwd=REPO, env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    label = "second (cache-required)" if require else "first (capture)"
+    if process.returncode != 0:
+        print(process.stdout)
+        sys.exit(f"bench smoke: {label} run failed "
+                 f"(exit {process.returncode})")
+    print(f"bench smoke: {label} run passed")
+    return process.stdout
+
+
+def cache_tally(output: str) -> dict:
+    match = re.search(r"trace cache: (\d+) hit\(s\), (\d+) miss\(es\), "
+                      r"(\d+) stale, (\d+) store\(s\), (\d+) run\(s\) "
+                      r"generated", output)
+    if match is None:
+        print(output)
+        sys.exit("bench smoke: no trace-cache tally in pytest output")
+    keys = ("hits", "misses", "stale", "stores", "generated")
+    return dict(zip(keys, map(int, match.groups())))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
+        first = cache_tally(run_bench(cache, require=False))
+        workloads = len(SMOKE_WORKLOADS.split(","))
+        if first["generated"] != workloads or first["stores"] != workloads:
+            sys.exit(f"bench smoke: first run should capture "
+                     f"{workloads} workloads, tallied {first}")
+        entries = len(list(Path(cache).glob("*.npz")))
+        if entries != workloads:
+            sys.exit(f"bench smoke: expected {workloads} cache "
+                     f"entries, found {entries}")
+        second = cache_tally(run_bench(cache, require=True))
+        if second["generated"] != 0 or second["misses"] != 0:
+            sys.exit(f"bench smoke: second run re-executed a "
+                     f"collector, tallied {second}")
+        if second["hits"] < workloads:
+            sys.exit(f"bench smoke: second run should hit the cache "
+                     f"{workloads} times, tallied {second}")
+    print(f"bench smoke: OK — second run served {second['hits']} "
+          f"cached trace set(s), zero collector re-execution")
+
+
+if __name__ == "__main__":
+    main()

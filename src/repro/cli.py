@@ -9,7 +9,9 @@ Commands:
 * ``figure N`` / ``table N`` — regenerate a paper exhibit;
 * ``ablation NAME`` — run one of the ablation studies;
 * ``trace WORKLOAD OUT.json`` / ``replay IN.json`` — capture a GC
-  trace to disk and replay it later on any platform;
+  trace to disk (``.npz`` for the binary columnar format) and replay
+  it later on any platform (``--mode`` picks the fast path);
+* ``cache stats|path|clear`` — the content-addressed trace cache;
 * ``report WORKLOAD`` — a zsim-style Charon device statistics dump.
 """
 
@@ -19,10 +21,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.config import default_config
+from repro.config import REPLAY_MODES, default_config
 from repro.experiments import ablations, figures, tables
 from repro.experiments.report import render_table
-from repro.experiments.runner import collect_run, replay_platform
+from repro.experiments.runner import (collect_run, replay_grid,
+                                      replay_platform)
 from repro.gcalgo.trace import Primitive
 from repro.gcalgo.trace_io import load_traces, save_traces
 from repro.platform.factory import PLATFORM_NAMES, build_platform
@@ -76,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
                                                   "platforms")
     compare.add_argument("workload", choices=WORKLOAD_NAMES)
     compare.add_argument("--heap-mb", type=int, default=None)
+    compare.add_argument("--jobs", type=int, default=None,
+                         help="replay platforms in N processes "
+                              "(default REPRO_JOBS or 1)")
 
     figure = commands.add_parser("figure", help="regenerate a paper "
                                                 "figure")
@@ -104,6 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--platform", choices=PLATFORM_NAMES,
                         default="charon")
     replay.add_argument("--threads", type=int, default=None)
+    replay.add_argument("--mode", choices=REPLAY_MODES, default="auto",
+                        help="auto: fast path where the platform "
+                             "supports it; fast: require it; event: "
+                             "force event-by-event replay")
+
+    cache = commands.add_parser("cache", help="inspect or clear the "
+                                              "content-addressed trace "
+                                              "cache")
+    cache.add_argument("action", choices=("path", "stats", "clear"))
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default "
+                            "$REPRO_TRACE_CACHE)")
 
     report = commands.add_parser("report", help="Charon device "
                                                 "statistics for a run")
@@ -169,11 +187,12 @@ def _cmd_run(args) -> str:
 
 def _cmd_compare(args) -> str:
     heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    grid = replay_grid(PLATFORM_NAMES, [args.workload],
+                       heap_bytes=heap_bytes, processes=args.jobs)
     rows = []
     baseline = None
     for platform in PLATFORM_NAMES:
-        result = replay_platform(platform, args.workload,
-                                 heap_bytes=heap_bytes)
+        result = grid[(platform, args.workload)]
         if baseline is None:
             baseline = result.wall_seconds
         rows.append({
@@ -187,22 +206,65 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_replay(args) -> str:
+    from repro.gcalgo.columnar import compile_traces
+    from repro.gcalgo.trace_io import load_compiled
     from repro.heap.heap import JavaHeap
-    from repro.platform import TraceReplayer
+    from repro.platform import FastTraceReplayer, make_replayer
     from repro.workloads.base import workload_klasses
 
-    traces = load_traces(args.input)
-    heap_bytes = max(t.heap_bytes for t in traces) \
-        or 16 * (1 << 20)
+    if args.input.endswith(".npz"):
+        compiled, _ = load_compiled(args.input)
+        traces = None  # decompile only if the slow path needs objects
+        heap_bytes = max(t.heap_bytes for t in compiled) or 16 * (1 << 20)
+        count = len(compiled)
+    else:
+        compiled = None
+        traces = load_traces(args.input)
+        heap_bytes = max(t.heap_bytes for t in traces) or 16 * (1 << 20)
+        count = len(traces)
     config = default_config().with_heap_bytes(heap_bytes)
     heap = JavaHeap(config.heap, klasses=workload_klasses())
     platform = build_platform(args.platform, config, heap)
-    result = TraceReplayer(platform, threads=args.threads) \
-        .replay_all(traces)
-    return (f"replayed {len(traces)} traces on {args.platform}: "
+    replayer = make_replayer(platform, threads=args.threads,
+                             mode=args.mode)
+    if isinstance(replayer, FastTraceReplayer):
+        feed = compiled if compiled is not None else \
+            compile_traces(traces)
+        path_note = "fast path"
+    else:
+        feed = traces if traces is not None else \
+            [t.to_trace() for t in compiled]
+        path_note = "event-by-event"
+    result = replayer.replay_all(feed)
+    return (f"replayed {count} traces on {args.platform} "
+            f"({path_note}): "
             f"{result.wall_seconds * 1e3:.3f} ms, "
             f"{result.energy.total_j * 1e3:.2f} mJ, "
             f"{result.utilized_bandwidth / 1e9:.1f} GB/s")
+
+
+def _cmd_cache(args) -> str:
+    from repro.experiments import trace_cache
+
+    directory = trace_cache.cache_dir(args.dir)
+    if args.action == "path":
+        return str(directory) if directory is not None else \
+            "trace cache disabled (set REPRO_TRACE_CACHE or --dir)"
+    if args.action == "clear":
+        removed = trace_cache.clear(args.dir)
+        return f"removed {removed} trace-cache entr" \
+               f"{'y' if removed == 1 else 'ies'}"
+    if directory is None or not directory.exists():
+        return "trace cache disabled or empty; " + \
+            trace_cache.stats_line()
+    entries = sorted(directory.glob("*.npz"))
+    total = sum(path.stat().st_size for path in entries)
+    lines = [f"{directory}: {len(entries)} entries, "
+             f"{total / 2**20:.2f} MB"]
+    lines += [f"  {path.name}  {path.stat().st_size / 2**10:.1f} KB"
+              for path in entries]
+    lines.append(trace_cache.stats_line())
+    return "\n".join(lines)
 
 
 def _cmd_report(args) -> str:
@@ -296,7 +358,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {len(run.traces)} GC traces "
               f"({events} primitive events) to {args.output}")
     elif args.command == "replay":
-        print(_cmd_replay(args))
+        from repro.platform import FastReplayUnsupported
+        try:
+            print(_cmd_replay(args))
+        except FastReplayUnsupported as exc:
+            print(f"fast replay unsupported: {exc}", file=sys.stderr)
+            return 2
+    elif args.command == "cache":
+        print(_cmd_cache(args))
     elif args.command == "report":
         print(_cmd_report(args))
     elif args.command == "fuzz":

@@ -9,8 +9,10 @@ reasoning used to choose them.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.units import GB, KB, MB, NS, gb_per_s
@@ -449,3 +451,51 @@ def scaled_heap_bytes(workload: str) -> int:
     except KeyError:
         raise ConfigError(f"unknown workload {workload!r}") from None
     return paper_bytes // PAPER_HEAP_SCALE
+
+
+# ---------------------------------------------------------------------------
+# Replay pipeline configuration (the compiled-trace/capture-once layer)
+# ---------------------------------------------------------------------------
+
+#: Environment variables steering the experiment replay pipeline.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"          #: cache directory
+TRACE_CACHE_REQUIRE_ENV = "REPRO_TRACE_CACHE_REQUIRE"  #: miss = error
+REPLAY_JOBS_ENV = "REPRO_JOBS"                 #: replay_grid processes
+WORKLOADS_ENV = "REPRO_WORKLOADS"              #: comma-separated subset
+
+REPLAY_MODES = ("auto", "fast", "event")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """How the experiment layer turns traces into timing results.
+
+    ``fast_path`` selects the replayer (see
+    :func:`repro.platform.fast_replay.make_replayer`): ``auto`` uses
+    the vectorized fast path wherever the platform declares it
+    equivalent, ``fast`` requires it, ``event`` forces the event-by-
+    event replayer.  ``cache_dir`` points the content-addressed trace
+    cache at a directory (``None`` disables it) and ``jobs`` bounds the
+    :func:`repro.experiments.runner.replay_grid` process fan-out.
+    """
+
+    fast_path: str = "auto"
+    cache_dir: Optional[str] = None
+    jobs: int = 1
+
+    def validate(self) -> None:
+        if self.fast_path not in REPLAY_MODES:
+            raise ConfigError(
+                f"fast_path must be one of {REPLAY_MODES}, "
+                f"got {self.fast_path!r}")
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+
+
+def default_replay_config() -> ReplayConfig:
+    """The environment-driven replay configuration."""
+    config = ReplayConfig(
+        cache_dir=os.environ.get(TRACE_CACHE_ENV) or None,
+        jobs=int(os.environ.get(REPLAY_JOBS_ENV) or 1))
+    config.validate()
+    return config

@@ -7,10 +7,13 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.config import WORKLOADS_ENV
 from repro.experiments.runner import (collect_run, find_min_heap,
-                                      replay_platform, workload_config)
+                                      replay_grid, replay_platform,
+                                      workload_config)
 from repro.gcalgo.trace import Primitive
 from repro.heap.heap import JavaHeap
 from repro.platform import TraceReplayer, build_platform
@@ -25,8 +28,18 @@ FIG12_PLATFORMS = ("cpu-ddr4", "cpu-hmc", "charon", "ideal")
 
 
 def _names(workloads: Optional[Iterable[str]]) -> List[str]:
-    return list(workloads) if workloads is not None \
-        else list(ALL_WORKLOADS)
+    """Resolve a figure's workload list.
+
+    An explicit argument wins; otherwise ``REPRO_WORKLOADS`` (a
+    comma-separated subset, used by the benchmark smoke job to shrink
+    the grid) and finally the full Table 3 set.
+    """
+    if workloads is not None:
+        return list(workloads)
+    env = os.environ.get(WORKLOADS_ENV)
+    if env:
+        return [name.strip() for name in env.split(",") if name.strip()]
+    return list(ALL_WORKLOADS)
 
 
 # ---------------------------------------------------------------------------
@@ -105,6 +118,9 @@ def figure12(workloads: Optional[Iterable[str]] = None
              ) -> List[Dict[str, object]]:
     """GC throughput of each platform normalized to cpu-ddr4."""
     names = _names(workloads)
+    # Pre-warm the whole grid (fans out over processes when REPRO_JOBS
+    # asks for it); the loop below then reads the memoised results.
+    replay_grid(FIG12_PLATFORMS, names)
     rows = []
     speedups: Dict[str, List[float]] = {p: [] for p in FIG12_PLATFORMS}
     for name in names:

@@ -1,19 +1,41 @@
-"""Run workloads, cache their traces, and replay them on platforms."""
+"""Run workloads, cache their traces, and replay them on platforms.
+
+This module is the capture-once/replay-many hub of the experiment
+pipeline:
+
+* functional runs are memoised in-process (``_RUN_CACHE``) *and*
+  persisted through the content-addressed
+  :mod:`~repro.experiments.trace_cache`, so a warmed cache directory
+  lets a whole benchmark session replay without executing a collector;
+* each run's traces are compiled once to columnar form
+  (``_COMPILED_CACHE``) for the vectorized fast-path replayer, which
+  :func:`replay_platform` selects automatically per platform via
+  :func:`repro.platform.fast_replay.make_replayer`;
+* :func:`replay_grid` fans the platform x workload grid out over
+  worker processes with a deterministic merge.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.config import SystemConfig, default_config, scaled_heap_bytes
+from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
+                          scaled_heap_bytes)
 from repro.errors import OutOfMemoryError
+from repro.experiments import trace_cache
+from repro.gcalgo.columnar import CompiledTrace, compile_traces
 from repro.heap.heap import JavaHeap
-from repro.platform import TraceReplayer, build_platform
+from repro.platform import build_platform
+from repro.platform.fast_replay import FastTraceReplayer, make_replayer
 from repro.platform.timing import GCTimingResult
 from repro.workloads import run_workload
 from repro.workloads.base import workload_klasses
 from repro.workloads.mutator import WorkloadRun
 
 _RUN_CACHE: Dict[Tuple[str, int], WorkloadRun] = {}
+_COMPILED_CACHE: Dict[Tuple[str, int], List[CompiledTrace]] = {}
 _REPLAY_CACHE: Dict[tuple, GCTimingResult] = {}
 
 
@@ -29,17 +51,39 @@ def collect_run(name: str,
     """Run (or fetch the cached run of) a workload.
 
     The functional execution is deterministic, so traces are safely
-    memoised per (workload, heap size).
+    memoised per (workload, heap size) — in this process and, when
+    ``REPRO_TRACE_CACHE`` names a directory, on disk through the
+    content-addressed trace cache.
     """
     resolved = heap_bytes or scaled_heap_bytes(name)
     key = (name, resolved)
     if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = run_workload(name, heap_bytes=resolved)
+        run, compiled = trace_cache.fetch_run(
+            name, workload_config(name, resolved),
+            lambda: run_workload(name, heap_bytes=resolved))
+        _RUN_CACHE[key] = run
+        if compiled is not None:
+            _COMPILED_CACHE[key] = compiled
     return _RUN_CACHE[key]
+
+
+def compiled_run_traces(name: str,
+                        heap_bytes: Optional[int] = None
+                        ) -> List[CompiledTrace]:
+    """A workload run's traces in columnar form (compiled once)."""
+    resolved = heap_bytes or scaled_heap_bytes(name)
+    key = (name, resolved)
+    if key not in _COMPILED_CACHE:
+        run = collect_run(name, resolved)
+        # collect_run may have filled it from a disk-cache hit.
+        if key not in _COMPILED_CACHE:
+            _COMPILED_CACHE[key] = compile_traces(run.traces)
+    return _COMPILED_CACHE[key]
 
 
 def clear_cache() -> None:
     _RUN_CACHE.clear()
+    _COMPILED_CACHE.clear()
     _REPLAY_CACHE.clear()
 
 
@@ -54,6 +98,18 @@ def layout_heap(name: str,
     return JavaHeap(config.heap, klasses=workload_klasses())
 
 
+def _replay_key(platform_name: str, name: str, config: SystemConfig,
+                threads: Optional[int]) -> tuple:
+    """Memo key: the parameters that affect replay timing."""
+    charon = config.charon
+    return (platform_name, name, config.heap.heap_bytes,
+            threads, config.gc_threads, charon.distributed,
+            charon.copy_search_units, charon.bitmap_count_units,
+            charon.scan_push_units, charon.bitmap_cache_enabled,
+            charon.scan_push_local, config.hmc.topology,
+            config.costs.charon_dispatch_overhead_s)
+
+
 def replay_platform(platform_name: str, name: str,
                     heap_bytes: Optional[int] = None,
                     config: Optional[SystemConfig] = None,
@@ -61,24 +117,88 @@ def replay_platform(platform_name: str, name: str,
     """Replay a workload's full GC history on one platform.
 
     Results are memoised on the parameters that affect timing (platform,
-    heap, thread count, Charon organisation/unit counts).
+    heap, thread count, Charon organisation/unit counts).  Platforms
+    that declare the vectorized fast path equivalent replay the
+    compiled columnar traces; the rest replay event by event.
     """
     run = collect_run(name, heap_bytes)
     resolved_config = config or workload_config(name, heap_bytes)
-    charon = resolved_config.charon
-    key = (platform_name, name, resolved_config.heap.heap_bytes,
-           threads, resolved_config.gc_threads, charon.distributed,
-           charon.copy_search_units, charon.bitmap_count_units,
-           charon.scan_push_units, charon.bitmap_cache_enabled,
-           charon.scan_push_local, resolved_config.hmc.topology,
-           resolved_config.costs.charon_dispatch_overhead_s)
+    key = _replay_key(platform_name, name, resolved_config, threads)
     if key not in _REPLAY_CACHE:
         heap = JavaHeap(resolved_config.heap,
                         klasses=workload_klasses())
         platform = build_platform(platform_name, resolved_config, heap)
-        replayer = TraceReplayer(platform, threads=threads)
-        _REPLAY_CACHE[key] = replayer.replay_all(run.traces)
+        replayer = make_replayer(platform, threads=threads)
+        if isinstance(replayer, FastTraceReplayer):
+            traces: Iterable = compiled_run_traces(name, heap_bytes)
+        else:
+            traces = run.traces
+        _REPLAY_CACHE[key] = replayer.replay_all(traces)
     return _REPLAY_CACHE[key]
+
+
+# -- grid fan-out ----------------------------------------------------------
+
+def _grid_worker(job: tuple) -> GCTimingResult:
+    platform_name, name, heap_bytes, threads = job
+    return replay_platform(platform_name, name, heap_bytes=heap_bytes,
+                           threads=threads)
+
+
+def replay_grid(platform_names: Iterable[str],
+                workload_names: Iterable[str],
+                heap_bytes: Optional[int] = None,
+                threads: Optional[int] = None,
+                processes: Optional[int] = None
+                ) -> Dict[Tuple[str, str], GCTimingResult]:
+    """Replay every platform x workload pair; returns the result grid.
+
+    ``processes`` > 1 fans the pairs out over forked worker processes
+    (default from ``REPRO_JOBS``).  Workload runs are captured in the
+    parent first, so children inherit the traces instead of
+    regenerating them; results merge back in job order, so the outcome
+    — including the parent's replay memo — is identical to a serial
+    sweep regardless of worker scheduling.
+    """
+    platform_names = list(platform_names)
+    workload_names = list(workload_names)
+    if processes is None:
+        processes = int(os.environ.get(REPLAY_JOBS_ENV) or 1)
+    jobs = [(platform, name, heap_bytes, threads)
+            for name in workload_names for platform in platform_names]
+    for name in workload_names:
+        collect_run(name, heap_bytes)
+        compiled_run_traces(name, heap_bytes)
+    pending = [job for job in jobs
+               if _replay_key(job[0], job[1],
+                              workload_config(job[1], heap_bytes),
+                              threads) not in _REPLAY_CACHE]
+    if processes > 1 and len(pending) > 1 and _fork_available():
+        context = multiprocessing.get_context("fork")
+        with context.Pool(min(processes, len(pending))) as pool:
+            results = pool.map(_grid_worker, pending)
+        for job, result in zip(pending, results):
+            key = _replay_key(job[0], job[1],
+                              workload_config(job[1], heap_bytes),
+                              threads)
+            _REPLAY_CACHE[key] = result
+    else:
+        for job in pending:
+            _grid_worker(job)
+    return {(platform, name): replay_platform(platform, name,
+                                              heap_bytes=heap_bytes,
+                                              threads=threads)
+            for platform, name, _, _ in jobs}
+
+
+def _fork_available() -> bool:
+    # Without fork the children would re-import cold and regenerate
+    # every run; a serial sweep is strictly cheaper then.
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
 
 
 def find_min_heap(name: str, granularity_fraction: float = 0.125,

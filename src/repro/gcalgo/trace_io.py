@@ -2,28 +2,48 @@
 
 Trace-driven simulators live and die by being able to capture a trace
 once and replay it many times; this module round-trips
-:class:`~repro.gcalgo.trace.GCTrace` objects through a compact JSON
-format.  Events serialize positionally (the hot field set), residuals
-and summaries as small maps.  The format is versioned so stored traces
-fail loudly rather than silently misreplay after a schema change.
+:class:`~repro.gcalgo.trace.GCTrace` objects through two formats:
+
+* a compact **JSON** codec (events positionally, residuals and
+  summaries as small maps) — human-greppable, version-controlled
+  reproducers;
+* a **binary ``.npz``** codec that stores the columnar
+  :class:`~repro.gcalgo.columnar.CompiledTrace` arrays directly — the
+  capture-once/replay-many artifact the experiment pipeline and the
+  content-addressed trace cache use.  Loading it hands structured
+  arrays straight to the vectorized replayer without per-event Python
+  work.
+
+Both formats are versioned so stored traces fail loudly rather than
+silently misreplay after a schema change.  :func:`save_traces` and
+:func:`load_traces` dispatch on the ``.npz`` suffix.
 
 ::
 
     from repro.gcalgo.trace_io import save_traces, load_traces
-    save_traces(run.traces, "spark-bs.gctrace.json")
-    traces = load_traces("spark-bs.gctrace.json")
+    save_traces(run.traces, "spark-bs.gctrace.json")   # JSON
+    save_traces(run.traces, "spark-bs.gctrace.npz")    # binary columnar
+    traces = load_traces("spark-bs.gctrace.npz")
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigError
+from repro.gcalgo.columnar import (CompiledTrace, EVENT_DTYPE,
+                                   STAT_FIELDS, TRACE_SCHEMA_VERSION,
+                                   compile_traces)
 from repro.gcalgo.trace import GCTrace, Primitive, ResidualWork, TraceEvent
 
 FORMAT_VERSION = 1
+
+BINARY_FORMAT = "repro-gctrace-npz"
 
 #: positional event encoding:
 #: [primitive, phase, src, dst, size, refs, pushes, bits, bits_cached,
@@ -84,20 +104,31 @@ def trace_from_dict(payload: dict) -> GCTrace:
 
 def save_traces(traces: Iterable[GCTrace],
                 path: Union[str, Path]) -> int:
-    """Write a run's traces to ``path``; returns the event total."""
+    """Write a run's traces to ``path``; returns the event total.
+
+    Dispatches on the suffix: ``.npz`` writes the binary columnar
+    format, anything else the JSON format.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        return save_traces_npz(traces, path)
     traces = list(traces)
     document = {
         "format": "repro-gctrace",
         "version": FORMAT_VERSION,
         "traces": [trace_to_dict(trace) for trace in traces],
     }
-    Path(path).write_text(json.dumps(document, separators=(",", ":")))
+    path.write_text(json.dumps(document, separators=(",", ":")))
     return sum(len(trace.events) for trace in traces)
 
 
 def load_traces(path: Union[str, Path]) -> List[GCTrace]:
-    """Read traces written by :func:`save_traces`."""
-    document = json.loads(Path(path).read_text())
+    """Read traces written by :func:`save_traces` (either format)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        compiled, _ = load_compiled(path)
+        return [trace.to_trace() for trace in compiled]
+    document = json.loads(path.read_text())
     if document.get("format") != "repro-gctrace":
         raise ConfigError(f"{path} is not a gctrace file")
     if document.get("version") != FORMAT_VERSION:
@@ -105,3 +136,105 @@ def load_traces(path: Union[str, Path]) -> List[GCTrace]:
             f"{path} has trace format version "
             f"{document.get('version')}, expected {FORMAT_VERSION}")
     return [trace_from_dict(payload) for payload in document["traces"]]
+
+
+# -- binary columnar codec -------------------------------------------------
+
+def _event_key(index: int) -> str:
+    return f"events_{index:05d}"
+
+
+def save_traces_npz(traces: Iterable[Union[GCTrace, CompiledTrace]],
+                    path: Union[str, Path],
+                    extra: Optional[Dict[str, object]] = None) -> int:
+    """Write traces as compiled columnar arrays; returns the event total.
+
+    ``extra`` is an optional JSON-serializable dict stored alongside
+    (the trace cache uses it for the captured run's stats).  The write
+    is atomic: a sibling temp file is renamed into place, so concurrent
+    writers of the same content-addressed entry cannot tear it.
+    """
+    compiled = compile_traces(list(traces))
+    manifest = {
+        "format": BINARY_FORMAT,
+        "version": TRACE_SCHEMA_VERSION,
+        "traces": [
+            {
+                "kind": trace.kind,
+                "heap_bytes": trace.heap_bytes,
+                "phases": list(trace.phase_names),
+                "residuals": {
+                    phase: [work.instructions, work.bytes_accessed]
+                    for phase, work in trace.residuals.items()
+                },
+                "stats": {name: getattr(trace, name)
+                          for name in STAT_FIELDS},
+            }
+            for trace in compiled
+        ],
+    }
+    if extra is not None:
+        manifest["extra"] = extra
+    arrays = {_event_key(i): trace.events
+              for i, trace in enumerate(compiled)}
+    path = Path(path)
+    temp = path.with_name(path.name + f".tmp{id(arrays):x}")
+    with open(temp, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            manifest=np.asarray(json.dumps(manifest,
+                                           separators=(",", ":"))),
+            **arrays)
+    temp.replace(path)
+    return sum(len(trace.events) for trace in compiled)
+
+
+def load_compiled(path: Union[str, Path]
+                  ) -> Tuple[List[CompiledTrace], Dict[str, object]]:
+    """Read a binary trace file as compiled arrays.
+
+    Returns ``(traces, extra)`` where ``extra`` is whatever dict
+    :func:`save_traces_npz` stored (empty if none).  Raises
+    :class:`ConfigError` loudly on a foreign file or a schema-version
+    mismatch — a stale artifact must be regenerated, never misreplayed.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "manifest" not in archive:
+                raise ConfigError(f"{path} is not a binary gctrace file")
+            manifest = json.loads(str(archive["manifest"]))
+            if manifest.get("format") != BINARY_FORMAT:
+                raise ConfigError(f"{path} is not a binary gctrace file")
+            if manifest.get("version") != TRACE_SCHEMA_VERSION:
+                raise ConfigError(
+                    f"{path} has trace schema version "
+                    f"{manifest.get('version')}, expected "
+                    f"{TRACE_SCHEMA_VERSION}; regenerate the trace")
+            traces = []
+            for index, entry in enumerate(manifest["traces"]):
+                events = archive[_event_key(index)]
+                if events.dtype != EVENT_DTYPE:
+                    raise ConfigError(
+                        f"{path} event layout does not match schema "
+                        f"v{TRACE_SCHEMA_VERSION}; regenerate the trace")
+                residuals = {
+                    phase: ResidualWork(instructions=instructions,
+                                        bytes_accessed=bytes_accessed)
+                    for phase, (instructions, bytes_accessed)
+                    in entry.get("residuals", {}).items()
+                }
+                traces.append(CompiledTrace(
+                    entry["kind"], entry.get("heap_bytes", 0), events,
+                    entry.get("phases", []), residuals,
+                    **entry.get("stats", {})))
+            return traces, manifest.get("extra", {})
+    except (ValueError, KeyError, OSError, zipfile.BadZipFile) as exc:
+        raise ConfigError(f"{path} is not a readable gctrace file: "
+                          f"{exc}") from exc
+
+
+def load_traces_npz(path: Union[str, Path]) -> List[GCTrace]:
+    """Read a binary trace file back as :class:`GCTrace` objects."""
+    compiled, _ = load_compiled(path)
+    return [trace.to_trace() for trace in compiled]

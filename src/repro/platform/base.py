@@ -49,6 +49,25 @@ class Platform:
     def phase_end(self, phase: str) -> None:
         """Hook at each phase barrier (bitmap-cache flushes)."""
 
+    # -- fast-path eligibility ----------------------------------------------
+
+    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+        """Can the vectorized fast path reproduce this platform exactly?
+
+        The fast path (:mod:`repro.platform.fast_replay`) batches
+        per-event costs in numpy, which is only *equivalent* to the
+        event-by-event replay when an event's duration is a pure
+        function of the event — i.e. when no stateful shared resource
+        (FIFO bandwidth horizons, the bitmap cache, per-cube unit
+        queues) couples one event's cost to another's.  Each platform
+        declares its own eligibility for a given effective GC thread
+        count; the default is a refusal.
+
+        Returns ``(supported, reason)``.
+        """
+        return (False, "event costs depend on stateful shared "
+                       "resources and must replay in order")
+
     # -- accounting ---------------------------------------------------------
 
     def memory_snapshot(self) -> Tuple[int, float]:
@@ -88,6 +107,22 @@ class CpuDDR4Platform(Platform):
         super().__init__(config, DDR4Port(ddr4))
         self.ddr4 = ddr4
 
+    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+        """Single-threaded DDR4 replay is exactly batchable.
+
+        With one GC thread the thread's clock is always >= every
+        channel-FIFO horizon it has reserved (each event finishes no
+        earlier than its own bandwidth reservation), so ``max(now,
+        busy_until)`` degenerates to ``now`` and every event's duration
+        becomes a closed-form function of the event alone.  Two or more
+        threads genuinely contend on the channel FIFOs — their events
+        queue behind each other — and must replay in order.
+        """
+        if threads == 1:
+            return True, "one GC thread never queues on the channel FIFOs"
+        return (False, "channel-FIFO bandwidth contention couples "
+                       "events across GC threads")
+
 
 class CpuHMCPlatform(Platform):
     """Host against the HMC's external links (no offloading)."""
@@ -100,6 +135,14 @@ class CpuHMCPlatform(Platform):
         super().__init__(config, HMCHostPort(hmc, vm))
         self.hmc = hmc
         self.vm = vm
+
+    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+        # One event's range splits into per-cube runs that queue behind
+        # each other on the shared serial-link FIFOs (and anonymous
+        # residual traffic round-robins a cube cursor), so costs are
+        # order-dependent even with a single GC thread.
+        return (False, "per-cube range routing shares serial-link "
+                       "FIFOs; replay is order-dependent")
 
 
 class CharonPlatform(Platform):
@@ -138,6 +181,10 @@ class CharonPlatform(Platform):
     def phase_end(self, phase: str) -> None:
         self.device.phase_completed(phase)
 
+    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+        return (False, "bitmap-cache, MAI and command-queue state make "
+                       "offload costs order-dependent")
+
 
 class IdealPlatform(Platform):
     """Offloaded primitives take zero cycles (Fig. 12's upper bound)."""
@@ -155,3 +202,8 @@ class IdealPlatform(Platform):
     def offload_finish(self, now: float, event: TraceEvent,
                        gc_kind: str) -> float:
         return now
+
+    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+        # Zero-cost offloads touch no memory resource at all, so the
+        # batched path is exact for any thread count.
+        return True, "offloaded primitives are zero-cost"

@@ -1,0 +1,304 @@
+"""Vectorized fast-path trace replay.
+
+The event-by-event :class:`~repro.platform.replay.TraceReplayer` walks
+every :class:`~repro.gcalgo.trace.TraceEvent` through Python attribute
+dispatch; for large traces the *timing layer* dominates experiment
+runtime.  :class:`FastTraceReplayer` costs a whole
+:class:`~repro.gcalgo.columnar.CompiledTrace` in a handful of numpy
+array operations instead.
+
+The fast path is only offered where it is provably *equivalent* to the
+event-by-event replay — each platform declares its own eligibility via
+:meth:`~repro.platform.base.Platform.fast_replay_support`:
+
+* ``ideal`` — offloaded primitives are zero-cost and touch no memory
+  resource, so batching is exact for any thread count;
+* ``cpu-ddr4`` with one GC thread — a single thread's clock is always
+  at or past every channel-FIFO horizon it reserved (each event
+  finishes no earlier than its own bandwidth reservation), so
+  ``max(now, busy_until)`` degenerates to ``now`` and each event's
+  duration is a closed-form function of the event alone;
+* everything else (multi-threaded DDR4, ``cpu-hmc``, the Charon
+  platforms) refuses: FIFO contention, per-cube routing, the bitmap
+  cache and command queues make costs order-dependent.
+
+:func:`make_replayer` selects automatically: the fast path where
+supported, the event-by-event replayer otherwise.
+
+Equivalence contract (what the golden tests in
+``tests/test_fast_replay_equivalence.py`` assert): integer counters
+(DRAM/link/TSV bytes, bitmap-cache hits/accesses) are *exactly* equal —
+they are pure integer functions of the events — while float quantities
+(wall, per-primitive seconds, energy) agree to 1e-9 relative tolerance,
+absorbing the summation-order difference between a sequential clock
+chain and a batched reduction (~n·eps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+from repro.gcalgo.columnar import (CODE_TO_PRIMITIVE, CompiledTrace,
+                                   NO_BITS_CACHED, compile_trace)
+from repro.gcalgo.trace import GCTrace, Primitive, PRIMITIVE_TYPE_CODES
+from repro.platform.base import Platform
+from repro.platform.replay import TraceReplayer
+from repro.platform.timing import GCTimingResult
+from repro.units import CACHE_LINE
+
+
+class FastReplayUnsupported(ReproError):
+    """The platform's event costs cannot be batched (its
+    :meth:`~repro.platform.base.Platform.fast_replay_support` refused)."""
+
+
+class FastTraceReplayer(TraceReplayer):
+    """Batched replay for platforms whose event costs are stateless.
+
+    Accepts :class:`GCTrace` or :class:`CompiledTrace` inputs (objects
+    are compiled on the fly; feed compiled traces to skip that cost).
+    Residual (non-offloadable) phase work still goes through the real
+    :meth:`HostCostModel.residual_seconds` scalar path in phase order,
+    so its resource accounting — and on HMC-backed platforms its
+    stateful cube round-robin — evolves identically to the event-by-
+    event replayer.
+    """
+
+    def __init__(self, platform: Platform,
+                 threads: Optional[int] = None) -> None:
+        super().__init__(platform, threads=threads)
+        supported, why = platform.fast_replay_support(self.threads)
+        if not supported:
+            raise FastReplayUnsupported(f"{platform.name}: {why}")
+        self._kernel = _kernel_for(platform)
+
+    def replay(self, trace: Union[GCTrace, CompiledTrace]
+               ) -> GCTimingResult:
+        compiled = (trace if isinstance(trace, CompiledTrace)
+                    else compile_trace(trace))
+        platform = self.platform
+        gc_start = self.clock
+        work_start = platform.begin_gc(gc_start)
+        flush_seconds = work_start - gc_start
+
+        primitive_seconds: Dict[Primitive, float] = {}
+        residual_seconds = 0.0
+        host_busy = flush_seconds
+        before = self._snapshot()
+
+        durations = self._kernel.charge(compiled)
+        prim = compiled.events["prim"]
+        now = work_start
+        runs = compiled.phase_runs()
+        for name, lo, hi in runs:
+            seg = durations[lo:hi]
+            # Phase makespan: one thread runs the events back to back;
+            # with several threads only the zero-duration ideal kernel
+            # is eligible, where any assignment has a zero makespan.
+            span = float(seg.sum()) if self.threads == 1 else 0.0
+            codes = prim[lo:hi]
+            for code in np.unique(codes):
+                key = CODE_TO_PRIMITIVE[int(code)]
+                primitive_seconds[key] = primitive_seconds.get(key, 0.0) \
+                    + float(seg[codes == code].sum())
+            if not platform.offloads:
+                host_busy += span
+            now += span
+            work = compiled.residuals.get(name)
+            if work is not None:
+                share = platform.cost_model.residual_seconds(
+                    now, work, self._residual_threads)
+                residual_seconds += share * self._residual_threads
+                host_busy += share * self._residual_threads
+                now += share
+            platform.phase_end(name)
+
+        # Residual-only phases that had no events (e.g. summary), in
+        # the trace's insertion order — same as the event-by-event path.
+        seen = {name for name, _, _ in runs}
+        for name, work in compiled.residuals.items():
+            if name in seen:
+                continue
+            share = platform.cost_model.residual_seconds(
+                now, work, self._residual_threads)
+            residual_seconds += share * self._residual_threads
+            host_busy += share * self._residual_threads
+            now += share
+            platform.phase_end(name)
+
+        self.clock = now
+        return self._package(compiled.kind, gc_start, now, flush_seconds,
+                             primitive_seconds, residual_seconds,
+                             host_busy, before)
+
+
+def make_replayer(platform: Platform, threads: Optional[int] = None,
+                  mode: str = "auto") -> TraceReplayer:
+    """Build the right replayer for ``platform``.
+
+    ``mode`` is ``"auto"`` (fast path where the platform supports it,
+    event-by-event otherwise), ``"fast"`` (require the fast path; raise
+    :class:`FastReplayUnsupported` where it would not be equivalent) or
+    ``"event"`` (force the event-by-event replayer).
+    """
+    if mode == "event":
+        return TraceReplayer(platform, threads=threads)
+    if mode not in ("auto", "fast"):
+        raise ConfigError(f"unknown replay mode {mode!r}; "
+                          f"expected auto, fast or event")
+    try:
+        return FastTraceReplayer(platform, threads=threads)
+    except FastReplayUnsupported:
+        if mode == "fast":
+            raise
+        return TraceReplayer(platform, threads=threads)
+
+
+# -- kernels ---------------------------------------------------------------
+
+def _kernel_for(platform: Platform):
+    if platform.name == "ideal":
+        return _ZeroKernel()
+    if platform.name == "cpu-ddr4":
+        return _DDR4Kernel(platform)
+    # A platform that newly claims support must also get a kernel here;
+    # fail loudly rather than misprice its events.
+    raise FastReplayUnsupported(
+        f"{platform.name}: no vectorized kernel implements this platform")
+
+
+class _ZeroKernel:
+    """The ideal platform: offloaded primitives take zero cycles and
+    generate no memory traffic."""
+
+    def charge(self, compiled: CompiledTrace) -> np.ndarray:
+        return np.zeros(len(compiled.events), dtype=np.float64)
+
+
+class _DDR4Kernel:
+    """Closed-form single-thread DDR4 event costs.
+
+    Replicates ``HostCostModel._roofline`` composed with
+    ``DDR4System.stream`` under the no-queue invariant (see
+    :meth:`CpuDDR4Platform.fast_replay_support`), keeping the same
+    IEEE-754 operation order as the scalar code wherever the arithmetic
+    is per-event, so the batched durations match the sequential ones to
+    the last bit *before* the clock summation.
+
+    ``charge`` also performs the event stream's byte/energy accounting
+    against the real channel resources in bulk.  The FIFO horizons
+    (``busy_until``/``small_busy_until``) are deliberately left
+    untouched: under the no-queue invariant every horizon the scalar
+    path would have written is at or below the thread clock at every
+    later reservation, so ``max(now, horizon)`` resolves to ``now``
+    with or without them.
+    """
+
+    def __init__(self, platform: Platform) -> None:
+        core = platform.host.core
+        costs = platform.config.costs
+        ddr4 = platform.ddr4
+        self.costs = costs
+        self.channels = ddr4.channels
+        self.n_ch = len(ddr4.channels)
+        channel = ddr4.channels[0]
+        self.ch_rate = channel.rate
+        self.ch_latency = channel.latency  # == ResourcePath.latency here
+        self.epb = channel.energy_per_byte
+        self.ipc_hz = core.config.gc_ipc * core.config.freq_hz
+        self.hit_lat = costs.cache_hit_latency_s
+        self.ch_mlp = max(1.0, core.mlp / self.n_ch)
+
+    def charge(self, compiled: CompiledTrace) -> np.ndarray:
+        costs = self.costs
+        ev = compiled.events
+        prim = ev["prim"]
+        n = len(ev)
+        instr = np.zeros(n, dtype=np.float64)
+        touched = np.zeros(n, dtype=np.int64)
+        hitf = np.zeros(n, dtype=np.float64)
+        dep = np.ones(n, dtype=np.float64)
+
+        copy = prim == PRIMITIVE_TYPE_CODES[Primitive.COPY]
+        search = prim == PRIMITIVE_TYPE_CODES[Primitive.SEARCH]
+        scan = prim == PRIMITIVE_TYPE_CODES[Primitive.SCAN_PUSH]
+        bitmap = prim == PRIMITIVE_TYPE_CODES[Primitive.BITMAP_COUNT]
+        known = int(copy.sum() + search.sum() + scan.sum() + bitmap.sum())
+        if known != n:
+            raise ConfigError("trace contains primitive codes the DDR4 "
+                              "kernel does not price")
+
+        if copy.any():
+            size = ev["size_bytes"][copy]
+            instr[copy] = size * costs.copy_instructions_per_byte \
+                + costs.copy_object_overhead_instructions
+            touched[copy] = 2 * size
+            hitf[copy] = costs.copy_hit_fraction
+            dep[copy] = 2.0
+        if search.any():
+            size = ev["size_bytes"][search]
+            found = ev["found"][search].astype(bool)
+            examined = np.maximum(1, np.where(found, size // 2, size))
+            instr[search] = examined * costs.search_instructions_per_card
+            touched[search] = examined
+            hitf[search] = costs.search_hit_fraction
+        if scan.any():
+            refs = np.maximum(1, ev["refs"][scan])
+            instr[scan] = refs * costs.scan_push_instructions_per_ref
+            touched[scan] = refs * CACHE_LINE
+            try:
+                mark_id = compiled.phase_names.index("mark")
+            except ValueError:
+                marking = np.zeros(int(scan.sum()), dtype=bool)
+            else:
+                marking = ev["phase"][scan] == mark_id
+            hitf[scan] = np.where(marking, costs.scan_push_hit_major,
+                                  costs.scan_push_hit_minor)
+            dep[scan] = np.where(marking, 2.0, 1.0)
+        if bitmap.any():
+            bits = ev["bits"][bitmap]
+            cached = ev["bits_cached"][bitmap]
+            b = np.maximum(1, np.where(cached == NO_BITS_CACHED,
+                                       bits, cached))
+            instr[bitmap] = 12.0 + b * costs.bitmap_instructions_per_bit
+            touched[bitmap] = 2 * (b // 8 + 1)
+            hitf[bitmap] = costs.bitmap_hit_fraction
+
+        touched_f = touched.astype(np.float64)
+        miss = (touched_f * (1.0 - hitf)).astype(np.int64)
+        hits = touched_f / CACHE_LINE * hitf
+        compute = instr / self.ipc_hz + hits * self.hit_lat / 4.0
+
+        # DDR4System.stream: each channel serves round(miss / channels)
+        # bytes; int(round()) is round-half-to-even, i.e. np.rint.
+        share = miss.astype(np.float64) / self.n_ch
+        r = np.rint(share)
+        r_i = r.astype(np.int64)
+        service = r / self.ch_rate
+        n_req = np.ceil(r / CACHE_LINE)
+        lat_rel = self.ch_latency * dep \
+            + (n_req - 1.0) * (self.ch_latency / self.ch_mlp)
+        mem_rel = np.where(r_i > 0, np.maximum(service, lat_rel),
+                           self.ch_latency * dep)
+        durations = np.where(miss > 0, np.maximum(compute, mem_rel),
+                             compute)
+
+        # Bulk byte/energy accounting: ResourcePath.stream reserves the
+        # per-channel share on every channel once per event with a
+        # positive rounded share (a zero share returns before reserving).
+        served = r_i > 0
+        if served.any():
+            r_served = r_i[served]
+            total_bytes = int(r_served.sum())
+            busy = float(service[served].sum())
+            energy = float((r_served * self.epb).sum())
+            requests = int(served.sum())
+            for channel in self.channels:
+                channel.bytes_served += total_bytes
+                channel.busy_time += busy
+                channel.energy_joules += energy
+                channel.requests += requests
+        return durations

@@ -53,13 +53,10 @@ class TraceReplayer:
         primitive_seconds: Dict[Primitive, float] = {}
         residual_seconds = 0.0
         host_busy = flush_seconds  # LLC flush occupies the host
-        charon_busy_before = platform.charon_busy_seconds()
-        bc_hits_before, bc_accesses_before = \
-            platform.bitmap_cache_counters()
-        bytes_before, energy_before = platform.memory_snapshot()
-        traffic_before = platform.traffic_detail()
+        before = self._snapshot()
 
-        for phase, events in self._phases(trace):
+        phases = self._phases(trace)
+        for phase, events in phases:
             # Least-loaded thread assignment via a heap of clocks.
             heap: List[Tuple[float, int]] = [
                 (clock, index) for index, clock in enumerate(thread_clock)]
@@ -97,8 +94,11 @@ class TraceReplayer:
             platform.phase_end(phase)
 
         # Residual-only phases that had no events (e.g. summary).
+        # ``phases`` is reused from above: event phase segmentation is a
+        # pure function of the trace, recomputing it would double the
+        # cost of short traces.
         leftover = [name for name in trace.residuals
-                    if name not in {p for p, _ in self._phases(trace)}]
+                    if name not in {p for p, _ in phases}]
         now = max(thread_clock)
         for phase in leftover:
             share = platform.cost_model.residual_seconds(
@@ -108,13 +108,45 @@ class TraceReplayer:
             now += share
             platform.phase_end(phase)
 
-        wall = now - gc_start
         self.clock = now
+        return self._package(trace.kind, gc_start, now, flush_seconds,
+                             primitive_seconds, residual_seconds,
+                             host_busy, before)
 
+    def replay_all(self, traces: Iterable[GCTrace]) -> GCTimingResult:
+        """Replay a run's GC events back to back; returns the combined
+        result."""
+        results = [self.replay(trace) for trace in traces]
+        return GCTimingResult.combine(results)
+
+    # -- internals -----------------------------------------------------------
+
+    def _snapshot(self) -> Tuple:
+        """Platform counter snapshot taken at GC start."""
+        platform = self.platform
+        return (platform.charon_busy_seconds(),
+                platform.bitmap_cache_counters(),
+                platform.memory_snapshot(),
+                platform.traffic_detail())
+
+    def _package(self, gc_kind: str, gc_start: float, now: float,
+                 flush_seconds: float,
+                 primitive_seconds: Dict[Primitive, float],
+                 residual_seconds: float, host_busy: float,
+                 before: Tuple) -> GCTimingResult:
+        """Assemble the timing result from counter deltas.
+
+        Shared with the vectorized fast path so both replayers report
+        through identical accounting code.
+        """
+        platform = self.platform
+        charon_busy_before, (bc_hits_before, bc_accesses_before), \
+            (bytes_before, energy_before), traffic_before = before
+        wall = now - gc_start
         bytes_after, energy_after = platform.memory_snapshot()
         result = GCTimingResult(
             platform=platform.name,
-            gc_kind=trace.kind,
+            gc_kind=gc_kind,
             wall_seconds=wall,
             primitive_seconds=primitive_seconds,
             residual_seconds=residual_seconds,
@@ -135,14 +167,6 @@ class TraceReplayer:
             wall, host_busy, energy_after - energy_before,
             platform.charon_busy_seconds() - charon_busy_before)
         return result
-
-    def replay_all(self, traces: Iterable[GCTrace]) -> GCTimingResult:
-        """Replay a run's GC events back to back; returns the combined
-        result."""
-        results = [self.replay(trace) for trace in traces]
-        return GCTimingResult.combine(results)
-
-    # -- internals -----------------------------------------------------------
 
     @staticmethod
     def _phases(trace: GCTrace) -> List[Tuple[str, List[TraceEvent]]]:

@@ -89,3 +89,43 @@ def platform_for(name: str, heap_bytes: int = SMALL_HEAP_BYTES):
     cfg = default_config().with_heap_bytes(heap_bytes)
     heap = JavaHeap(cfg.heap, klasses=workload_klasses())
     return build_platform(name, cfg, heap), heap, cfg
+
+
+def make_mixed_run(run_name: str = "mixed"):
+    """A deterministic run whose traces cover all three GC kinds.
+
+    Minor collections come from young-generation allocation pressure,
+    the major collection compacts the promoted survivors (exercising
+    BITMAP_COUNT), and the final sweep reclaims the roots released in
+    between — so between them the traces carry every primitive the
+    replayers price.
+    """
+    heap = make_heap()
+    driver = MutatorDriver(heap, run_name=run_name)
+    keep = []
+    for index in range(150):
+        view = driver.allocate("Node")
+        if index % 3 == 0:
+            keep.append(driver.handle(view.addr))
+    driver.minor_gc()
+    for index in range(60):
+        view = driver.allocate("typeArray", length=2048)
+        if index % 4 == 0:
+            keep.append(driver.handle(view.addr))
+    driver.minor_gc()
+    # Interleaved live/dead old-generation objects force the compaction
+    # to move survivors (COPY + BITMAP_COUNT events in the major trace).
+    for index in range(80):
+        view = heap.new_object("Node", space=heap.layout.old)
+        if index % 2 == 0:
+            keep.append(driver.handle(view.addr))
+    driver.major_gc()
+    for handle in keep[::2]:
+        driver.release(handle)
+    driver.sweep_gc()
+    return driver.finish()
+
+
+@pytest.fixture(scope="session")
+def mixed_run():
+    return make_mixed_run()

@@ -1,0 +1,199 @@
+"""Golden timing-equivalence tests for the vectorized fast path.
+
+For every platform x GC-kind combination the fast replayer must either
+produce a :class:`GCTimingResult` equivalent to the event-by-event
+replayer — integer traffic counters *exactly* equal, float quantities
+within 1e-9 relative tolerance — or refuse the fast path up front.
+
+The tolerance absorbs exactly one thing: the event-by-event path sums
+durations through a sequential clock (``finish - now`` at growing
+``now``) while the fast path reduces a duration vector, so float
+results may drift by ~n·eps.  Everything integer (DRAM/link/TSV bytes,
+bitmap-cache counters) is a pure function of the events and must match
+bit for bit.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gcalgo.columnar import compile_traces
+from repro.gcalgo.trace import Primitive
+from repro.platform.fast_replay import (FastReplayUnsupported,
+                                        FastTraceReplayer, make_replayer)
+from repro.platform.replay import TraceReplayer
+
+from tests.conftest import platform_for
+
+REL = 1e-9
+
+#: (platform, threads) pairs whose fast path must be equivalent.
+SUPPORTED = [
+    ("cpu-ddr4", 1),     # single thread: the no-queue invariant holds
+    ("ideal", 1),
+    ("ideal", None),     # default (8) threads: offloads are zero-cost
+]
+
+#: (platform, threads) pairs that must refuse — their event costs are
+#: order-dependent (FIFO contention, cube routing, bitmap cache, MAI
+#: command queues) so batching would not be equivalent.
+REFUSING = [
+    ("cpu-ddr4", None),  # default 8 threads share the channel FIFOs
+    ("cpu-ddr4", 2),
+    ("cpu-hmc", 1),
+    ("cpu-hmc", None),
+    ("charon", None),
+    ("charon", 1),
+    ("charon-cpuside", None),
+    ("charon-cpuside", 1),
+]
+
+
+def assert_equivalent(fast, slow):
+    """Field-by-field GCTimingResult comparison (fast vs golden)."""
+    assert fast.platform == slow.platform
+    assert fast.gc_kind == slow.gc_kind
+    # Integer traffic counters: exact.
+    assert fast.dram_bytes == slow.dram_bytes
+    assert fast.link_bytes == slow.link_bytes
+    assert fast.tsv_bytes == slow.tsv_bytes
+    assert fast.bitmap_cache_hits == slow.bitmap_cache_hits
+    assert fast.bitmap_cache_accesses == slow.bitmap_cache_accesses
+    # Float quantities: 1e-9 relative.
+    approx = lambda value: pytest.approx(value, rel=REL, abs=1e-18)
+    assert fast.wall_seconds == approx(slow.wall_seconds)
+    assert fast.residual_seconds == approx(slow.residual_seconds)
+    assert fast.flush_seconds == approx(slow.flush_seconds)
+    assert set(fast.primitive_seconds) == set(slow.primitive_seconds)
+    for primitive, seconds in slow.primitive_seconds.items():
+        assert fast.primitive_seconds[primitive] == approx(seconds)
+    assert fast.energy.host_j == approx(slow.energy.host_j)
+    assert fast.energy.memory_j == approx(slow.energy.memory_j)
+    assert fast.energy.charon_j == approx(slow.energy.charon_j)
+    if slow.local_fraction is None:
+        assert fast.local_fraction is None
+    else:
+        assert fast.local_fraction == approx(slow.local_fraction)
+
+
+def traces_of_kind(run, kind):
+    traces = [trace for trace in run.traces if trace.kind == kind]
+    assert traces, f"fixture run produced no {kind} traces"
+    return traces
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("platform_name,threads", SUPPORTED)
+    @pytest.mark.parametrize("kind", ["minor", "major", "sweep"])
+    def test_per_kind_equivalence(self, mixed_run, platform_name,
+                                  threads, kind):
+        traces = traces_of_kind(mixed_run, kind)
+        slow_platform, _, _ = platform_for(platform_name)
+        fast_platform, _, _ = platform_for(platform_name)
+        slow = TraceReplayer(slow_platform, threads=threads)
+        fast = FastTraceReplayer(fast_platform, threads=threads)
+        compiled = compile_traces(traces)
+        for trace, columnar in zip(traces, compiled):
+            assert_equivalent(fast.replay(columnar), slow.replay(trace))
+        assert fast.clock == pytest.approx(slow.clock, rel=REL)
+
+    @pytest.mark.parametrize("platform_name,threads", SUPPORTED)
+    def test_full_run_equivalence(self, tiny_spark_run, platform_name,
+                                  threads):
+        """Whole-run replay (clock accumulating across collections) on
+        the realistic workload trace set."""
+        slow_platform, _, _ = platform_for(platform_name)
+        fast_platform, _, _ = platform_for(platform_name)
+        slow = TraceReplayer(slow_platform, threads=threads)
+        fast = FastTraceReplayer(fast_platform, threads=threads)
+        compiled = compile_traces(tiny_spark_run.traces)
+        assert_equivalent(fast.replay_all(compiled),
+                          slow.replay_all(tiny_spark_run.traces))
+
+    @pytest.mark.parametrize("platform_name,threads", SUPPORTED)
+    def test_object_and_compiled_inputs_agree(self, mixed_run,
+                                              platform_name, threads):
+        """FastTraceReplayer accepts GCTrace too, compiling on the fly."""
+        trace = mixed_run.traces[0]
+        a_platform, _, _ = platform_for(platform_name)
+        b_platform, _, _ = platform_for(platform_name)
+        from_objects = FastTraceReplayer(
+            a_platform, threads=threads).replay(trace)
+        from_compiled = FastTraceReplayer(
+            b_platform, threads=threads).replay(
+                compile_traces([trace])[0])
+        assert_equivalent(from_objects, from_compiled)
+
+
+class TestRefusal:
+    @pytest.mark.parametrize("platform_name,threads", REFUSING)
+    def test_fast_mode_raises(self, platform_name, threads):
+        platform, _, _ = platform_for(platform_name)
+        with pytest.raises(FastReplayUnsupported, match=platform_name):
+            make_replayer(platform, threads=threads, mode="fast")
+
+    @pytest.mark.parametrize("platform_name,threads", REFUSING)
+    def test_auto_mode_falls_back_to_event_replayer(self, platform_name,
+                                                    threads):
+        platform, _, _ = platform_for(platform_name)
+        replayer = make_replayer(platform, threads=threads)
+        assert type(replayer) is TraceReplayer
+
+    @pytest.mark.parametrize("platform_name,threads", SUPPORTED)
+    def test_auto_mode_selects_fast_path(self, platform_name, threads):
+        platform, _, _ = platform_for(platform_name)
+        replayer = make_replayer(platform, threads=threads)
+        assert isinstance(replayer, FastTraceReplayer)
+
+    def test_event_mode_forces_slow_path(self):
+        platform, _, _ = platform_for("ideal")
+        replayer = make_replayer(platform, mode="event")
+        assert type(replayer) is TraceReplayer
+
+    def test_unknown_mode_rejected(self):
+        platform, _, _ = platform_for("ideal")
+        with pytest.raises(ConfigError, match="unknown replay mode"):
+            make_replayer(platform, mode="turbo")
+
+
+class TestSpeedup:
+    def test_fast_path_at_least_5x(self, tiny_spark_run):
+        """The acceptance bar: >=5x on at least one platform.
+
+        cpu-ddr4 with one GC thread measures ~12x here; best-of-5
+        timing keeps scheduler noise out of the comparison, and the
+        compile step is excluded (the pipeline compiles once per run).
+        """
+        traces = tiny_spark_run.traces
+        compiled = compile_traces(traces)
+
+        def best_of(build, feed, repeats=5):
+            best = float("inf")
+            for _ in range(repeats):
+                replayer = build()
+                start = time.perf_counter()
+                replayer.replay_all(feed)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        slow = best_of(
+            lambda: TraceReplayer(platform_for("cpu-ddr4")[0], threads=1),
+            traces)
+        fast = best_of(
+            lambda: FastTraceReplayer(platform_for("cpu-ddr4")[0],
+                                      threads=1),
+            compiled)
+        assert slow >= 5.0 * fast, (
+            f"fast path only {slow / fast:.1f}x faster "
+            f"({slow * 1e3:.2f}ms vs {fast * 1e3:.2f}ms)")
+
+
+def test_primitive_seconds_zero_on_ideal(mixed_run):
+    """The ideal platform's offloaded primitives are free — the fast
+    path must report exact zeros, not merely small numbers."""
+    platform, _, _ = platform_for("ideal")
+    result = FastTraceReplayer(platform).replay_all(
+        compile_traces(mixed_run.traces))
+    for primitive in Primitive:
+        assert result.primitive_seconds.get(primitive, 0.0) == 0.0

@@ -1,0 +1,76 @@
+"""Tests for the multiprocessing grid fan-out in the experiment runner.
+
+The fork-based fan-out must be an implementation detail: the result
+grid — keys, ordering, and every timing field — must be identical to a
+serial sweep, and the parent's replay memo must end up warm either way.
+"""
+
+import pytest
+
+from repro.config import REPLAY_JOBS_ENV, TRACE_CACHE_ENV
+from repro.experiments.runner import (_fork_available, clear_cache,
+                                      replay_grid, replay_platform)
+
+WORKLOAD = "graphchi-als"  # fastest real workload
+PLATFORMS = ("cpu-ddr4", "ideal", "charon")
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Fresh in-process memos; captures persist in a throwaway disk
+    cache so the second sweep replays without re-running collectors."""
+    monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path / "trace-cache"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def grids_equal(a, b):
+    assert list(a) == list(b)  # same cells, same deterministic order
+    for key, result in a.items():
+        assert b[key] == result  # dataclass field-by-field equality
+
+
+class TestDeterministicMerge:
+    def test_forked_grid_matches_serial(self):
+        serial = replay_grid(PLATFORMS, [WORKLOAD], processes=1)
+        clear_cache()
+        forked = replay_grid(PLATFORMS, [WORKLOAD], processes=2)
+        grids_equal(serial, forked)
+
+    def test_jobs_env_variable_is_honored(self, monkeypatch):
+        serial = replay_grid(PLATFORMS, [WORKLOAD], processes=1)
+        clear_cache()
+        monkeypatch.setenv(REPLAY_JOBS_ENV, "2")
+        from_env = replay_grid(PLATFORMS, [WORKLOAD])
+        grids_equal(serial, from_env)
+
+    def test_forked_results_warm_the_memo(self):
+        if not _fork_available():
+            pytest.skip("no fork start method on this platform")
+        grid = replay_grid(PLATFORMS, [WORKLOAD], processes=2)
+        for platform in PLATFORMS:
+            # replay_platform must now serve the merged result without
+            # replaying again (identity, not just equality).
+            assert replay_platform(platform, WORKLOAD) \
+                is grid[(platform, WORKLOAD)]
+
+    def test_warm_grid_is_stable(self):
+        first = replay_grid(PLATFORMS, [WORKLOAD], processes=2)
+        second = replay_grid(PLATFORMS, [WORKLOAD], processes=2)
+        for key, result in first.items():
+            assert second[key] is result
+
+
+class TestGridShape:
+    def test_grid_covers_every_cell(self):
+        grid = replay_grid(PLATFORMS, [WORKLOAD], processes=1)
+        assert set(grid) == {(platform, WORKLOAD)
+                             for platform in PLATFORMS}
+        for result in grid.values():
+            assert result.wall_seconds > 0.0
+
+    def test_single_cell_grid_stays_serial(self):
+        """One pending job must not pay for a worker pool."""
+        grid = replay_grid(("ideal",), [WORKLOAD], processes=4)
+        assert set(grid) == {("ideal", WORKLOAD)}

@@ -1,0 +1,169 @@
+"""Property tests for the trace codecs (JSON and binary columnar).
+
+Hypothesis generates arbitrary traces — any primitive mix, phase
+interleaving, residuals, stats counters — and both codecs must
+round-trip them field-for-field.  Version or format tampering must be
+rejected loudly with :class:`ConfigError`, never half-read.
+"""
+
+import json
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.gcalgo import trace_io
+from repro.gcalgo.columnar import STAT_FIELDS, compile_trace
+from repro.gcalgo.trace import (GCTrace, Primitive, ResidualWork,
+                                TraceEvent)
+from repro.gcalgo.trace_io import (load_compiled, load_traces,
+                                   save_traces, trace_to_dict)
+
+PHASES = ("setup", "root", "mark", "evacuate", "drain", "sweep",
+          "summary")
+
+events = st.builds(
+    TraceEvent,
+    primitive=st.sampled_from(list(Primitive)),
+    phase=st.sampled_from(PHASES),
+    src=st.integers(0, 2**40),
+    dst=st.integers(0, 2**40),
+    size_bytes=st.integers(0, 2**32),
+    refs=st.integers(0, 10_000),
+    pushes=st.integers(0, 10_000),
+    bits=st.integers(0, 1_000_000),
+    bits_cached=st.one_of(st.none(), st.integers(0, 1_000_000)),
+    found=st.booleans(),
+)
+
+
+@st.composite
+def traces(draw):
+    trace = GCTrace(draw(st.sampled_from(["minor", "major", "sweep",
+                                          "g1"])),
+                    heap_bytes=draw(st.integers(0, 2**40)))
+    trace.events = draw(st.lists(events, max_size=30))
+    for phase in draw(st.lists(st.sampled_from(PHASES), unique=True,
+                               max_size=4)):
+        trace.residuals[phase] = ResidualWork(
+            instructions=float(draw(st.integers(0, 2**32))),
+            bytes_accessed=draw(st.integers(0, 2**40)))
+    for name in STAT_FIELDS:
+        setattr(trace, name, draw(st.integers(0, 2**40)))
+    return trace
+
+
+trace_lists = st.lists(traces(), max_size=3)
+
+
+class TestRoundTripProperties:
+    @given(trace=traces())
+    def test_compile_round_trip(self, trace):
+        assert trace_to_dict(compile_trace(trace).to_trace()) \
+            == trace_to_dict(trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=trace_lists)
+    def test_json_file_round_trip(self, batch):
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "run.gctrace.json"
+            save_traces(batch, path)
+            loaded = load_traces(path)
+        assert [trace_to_dict(t) for t in loaded] \
+            == [trace_to_dict(t) for t in batch]
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=trace_lists)
+    def test_npz_file_round_trip(self, batch):
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "run.gctrace.npz"
+            save_traces(batch, path)
+            loaded = load_traces(path)
+        assert [trace_to_dict(t) for t in loaded] \
+            == [trace_to_dict(t) for t in batch]
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=trace_lists)
+    def test_formats_agree(self, batch):
+        """Saving through either codec loads back the same traces, and
+        residual insertion order survives both."""
+        with tempfile.TemporaryDirectory() as directory:
+            json_path = Path(directory) / "a.gctrace.json"
+            npz_path = Path(directory) / "a.gctrace.npz"
+            save_traces(batch, json_path)
+            save_traces(batch, npz_path)
+            from_json = load_traces(json_path)
+            from_npz = load_traces(npz_path)
+        assert [trace_to_dict(t) for t in from_json] \
+            == [trace_to_dict(t) for t in from_npz]
+        for original, loaded in zip(batch, from_npz):
+            assert list(loaded.residuals) == list(original.residuals)
+
+
+def saved_npz(tmp_path, mixed_run):
+    path = tmp_path / "run.gctrace.npz"
+    save_traces(mixed_run.traces, path)
+    return path
+
+
+class TestTampering:
+    def test_npz_version_mismatch_rejected(self, tmp_path, mixed_run,
+                                           monkeypatch):
+        path = saved_npz(tmp_path, mixed_run)
+        monkeypatch.setattr(trace_io, "TRACE_SCHEMA_VERSION",
+                            trace_io.TRACE_SCHEMA_VERSION + 1)
+        with pytest.raises(ConfigError, match="schema version"):
+            load_compiled(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(ConfigError, match="not a binary gctrace"):
+            load_compiled(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ConfigError, match="not a readable"):
+            load_compiled(path)
+
+    def test_missing_event_array_rejected(self, tmp_path, mixed_run):
+        path = saved_npz(tmp_path, mixed_run)
+        with np.load(path) as archive:
+            manifest = json.loads(str(archive["manifest"]))
+            kept = {key: archive[key] for key in archive.files
+                    if key not in ("manifest", "events_00001")}
+        np.savez(path, manifest=np.asarray(json.dumps(manifest)), **kept)
+        with pytest.raises(ConfigError):
+            load_compiled(path)
+
+    def test_json_version_mismatch_rejected(self, tmp_path, mixed_run):
+        path = tmp_path / "run.gctrace.json"
+        save_traces(mixed_run.traces, path)
+        document = json.loads(path.read_text())
+        document["version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ConfigError, match="version"):
+            load_traces(path)
+
+    def test_json_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigError, match="not a gctrace"):
+            load_traces(path)
+
+
+class TestAtomicWrite:
+    def test_no_temp_file_left_behind(self, tmp_path, mixed_run):
+        path = tmp_path / "run.gctrace.npz"
+        save_traces(mixed_run.traces, path)
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_npz_is_a_plain_zip(self, tmp_path, mixed_run):
+        """The artifact stays inspectable with stock tooling."""
+        path = saved_npz(tmp_path, mixed_run)
+        assert zipfile.is_zipfile(path)
