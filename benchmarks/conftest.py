@@ -20,19 +20,31 @@ import os
 import pathlib
 
 from repro.config import TRACE_CACHE_ENV
+from repro.obs import provenance
+from repro.obs.tracer import install_env_exporters
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 os.environ.setdefault(TRACE_CACHE_ENV,
                       str(pathlib.Path(__file__).parent / ".trace-cache"))
 
+# Honour REPRO_TRACE_OUT / REPRO_METRICS_OUT under pytest too, so a
+# benchmark session can leave a Chrome trace and a metric snapshot
+# behind (the CI bench-smoke job uploads both as artifacts).
+install_env_exporters()
+
 
 def publish(name: str, text: str) -> None:
-    """Print an exhibit and persist it under benchmarks/results/."""
+    """Print an exhibit and persist it under benchmarks/results/,
+    alongside a provenance manifest tying it to its trace-cache keys."""
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    provenance.write_manifest(RESULTS_DIR,
+                              name=f"{name}.manifest.json",
+                              command=f"benchmark {name}",
+                              outputs=[f"{name}.txt"])
 
 
 def run_once(benchmark, func):

@@ -12,6 +12,14 @@ grid against a fresh cache directory:
    session footer's cache tally is checked on top ("0 run(s)
    generated", at least one hit).
 
+The second run also exports telemetry through ``REPRO_TRACE_OUT`` /
+``REPRO_METRICS_OUT`` into ``$BENCH_SMOKE_ARTIFACTS`` (default
+``bench-smoke-artifacts/``); the script then checks the Chrome trace
+and metric snapshot are well-formed, and that every provenance
+manifest the benchmarks published round-trips with config hashes that
+match the trace-cache entry keys on disk.  CI uploads the artifact
+directory and ``benchmarks/results/``.
+
 Exit status 0 on success; any failure prints the offending pytest
 output.  Used by the CI ``bench-smoke`` job; runnable locally with
 ``python scripts/bench_smoke.py``.
@@ -19,6 +27,7 @@ output.  Used by the CI ``bench-smoke`` job; runnable locally with
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -28,6 +37,10 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SMOKE_WORKLOADS = "spark-km,graphchi-cc"
+ARTIFACTS = Path(os.environ.get("BENCH_SMOKE_ARTIFACTS")
+                 or REPO / "bench-smoke-artifacts")
+TRACE_ARTIFACT = ARTIFACTS / "bench-smoke.trace.json"
+METRICS_ARTIFACT = ARTIFACTS / "bench-smoke.metrics.json"
 
 
 def run_bench(cache_dir: str, require: bool) -> str:
@@ -37,6 +50,10 @@ def run_bench(cache_dir: str, require: bool) -> str:
     env.pop("REPRO_TRACE_CACHE_REQUIRE", None)
     if require:
         env["REPRO_TRACE_CACHE_REQUIRE"] = "1"
+        # The proving run also leaves telemetry behind for CI artifacts.
+        ARTIFACTS.mkdir(parents=True, exist_ok=True)
+        env["REPRO_TRACE_OUT"] = str(TRACE_ARTIFACT)
+        env["REPRO_METRICS_OUT"] = str(METRICS_ARTIFACT)
     process = subprocess.run(
         [sys.executable, "-m", "pytest", "-q",
          str(REPO / "benchmarks" / "bench_fig12_speedup.py")],
@@ -62,6 +79,52 @@ def cache_tally(output: str) -> dict:
     return dict(zip(keys, map(int, match.groups())))
 
 
+def check_artifacts(cache: Path) -> None:
+    """Validate the exported telemetry and the published manifests."""
+    trace = json.loads(TRACE_ARTIFACT.read_text())
+    complete = [e for e in trace if e.get("ph") == "X"]
+    if not (isinstance(trace, list) and complete):
+        sys.exit("bench smoke: Chrome trace artifact has no complete "
+                 "spans")
+    if not all("pid" in e and "tid" in e and "ts" in e
+               for e in complete):
+        sys.exit("bench smoke: Chrome trace artifact events are "
+                 "missing pid/tid/ts fields")
+    metrics = json.loads(METRICS_ARTIFACT.read_text())
+    if not metrics.get("metrics"):
+        sys.exit("bench smoke: metric snapshot artifact is empty")
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.provenance import load_manifest, round_trips
+
+    smoke = set(SMOKE_WORKLOADS.split(","))
+    keys = {path.stem for path in cache.glob("*.npz")}
+    manifests = sorted(
+        (REPO / "benchmarks" / "results").glob("*.manifest.json"))
+    if not manifests:
+        sys.exit("bench smoke: benchmarks published no provenance "
+                 "manifests")
+    checked = 0
+    for path in manifests:
+        if not round_trips(path):
+            sys.exit(f"bench smoke: manifest {path.name} does not "
+                     f"round-trip")
+        for run in load_manifest(path).get("runs", ()):
+            if run["workload"] not in smoke:
+                continue  # a stale manifest from a full local session
+            checked += 1
+            if run["config_hash"] not in keys:
+                sys.exit(f"bench smoke: manifest {path.name} records "
+                         f"config hash {run['config_hash'][:12]}… with "
+                         f"no matching trace-cache entry")
+    if not checked:
+        sys.exit("bench smoke: no manifest recorded the smoke "
+                 "workloads")
+    print(f"bench smoke: telemetry artifacts OK — "
+          f"{len(complete)} spans, {len(metrics['metrics'])} metrics, "
+          f"{checked} manifest run(s) matched to cache keys")
+
+
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))
@@ -80,6 +143,7 @@ def main() -> None:
         if second["hits"] < workloads:
             sys.exit(f"bench smoke: second run should hit the cache "
                      f"{workloads} times, tallied {second}")
+        check_artifacts(Path(cache))
     print(f"bench smoke: OK — second run served {second['hits']} "
           f"cached trace set(s), zero collector re-execution")
 

@@ -12,13 +12,24 @@ Commands:
   trace to disk (``.npz`` for the binary columnar format) and replay
   it later on any platform (``--mode`` picks the fast path);
 * ``cache stats|path|clear`` — the content-addressed trace cache;
-* ``report WORKLOAD`` — a zsim-style Charon device statistics dump.
+* ``report WORKLOAD`` — a zsim-style Charon device statistics dump;
+* ``stats WORKLOAD`` — the unified metric registry for one replay
+  (table, JSON snapshot, or CSV);
+* ``timeline WORKLOAD`` — a Chrome-trace (Perfetto-loadable) span
+  timeline of the replay's simulated GC pauses.
+
+``--out-dir DIR`` on the exhibit commands writes the rendered output
+*and* a provenance manifest (config hashes, cache hits, versions) into
+``DIR``; ``REPRO_TRACE_OUT``/``REPRO_METRICS_OUT`` dump a Chrome trace
+/ metric snapshot at exit from any command.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.config import REPLAY_MODES, default_config
@@ -28,6 +39,8 @@ from repro.experiments.runner import (collect_run, replay_grid,
                                       replay_platform)
 from repro.gcalgo.trace import Primitive
 from repro.gcalgo.trace_io import load_traces, save_traces
+from repro.obs import provenance
+from repro.obs.tracer import get_tracer, install_env_exporters
 from repro.platform.factory import PLATFORM_NAMES, build_platform
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -74,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
                      default="charon")
     run.add_argument("--heap-mb", type=int, default=None)
     run.add_argument("--threads", type=int, default=None)
+    run.add_argument("--trace-out", default=None,
+                     help="write a Chrome-trace span timeline of the "
+                          "replay to this file")
+    run.add_argument("--out-dir", default=None,
+                     help="write the output and a provenance manifest "
+                          "into this directory")
 
     compare = commands.add_parser("compare", help="one workload, all "
                                                   "platforms")
@@ -82,21 +101,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=None,
                          help="replay platforms in N processes "
                               "(default REPRO_JOBS or 1)")
+    compare.add_argument("--out-dir", default=None,
+                         help="write the table and a provenance "
+                              "manifest into this directory")
 
     figure = commands.add_parser("figure", help="regenerate a paper "
                                                 "figure")
     figure.add_argument("number", choices=sorted(FIGURES))
     figure.add_argument("--workloads", nargs="*", default=None,
                         choices=WORKLOAD_NAMES)
+    figure.add_argument("--out-dir", default=None,
+                        help="write the table and a provenance "
+                             "manifest into this directory")
 
     table = commands.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", choices=sorted(TABLES))
+    table.add_argument("--out-dir", default=None,
+                       help="write the table and a provenance "
+                            "manifest into this directory")
 
     ablation = commands.add_parser("ablation", help="run an ablation "
                                                     "study")
     ablation.add_argument("name", choices=sorted(ABLATIONS))
     ablation.add_argument("--workloads", nargs="*", default=None,
                           choices=WORKLOAD_NAMES)
+    ablation.add_argument("--out-dir", default=None,
+                          help="write the table and a provenance "
+                               "manifest into this directory")
 
     trace = commands.add_parser("trace", help="capture a workload's GC "
                                               "trace to a file")
@@ -126,6 +157,28 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="Charon device "
                                                 "statistics for a run")
     report.add_argument("workload", choices=WORKLOAD_NAMES)
+
+    stats = commands.add_parser("stats", help="unified metric registry "
+                                              "for one replay")
+    stats.add_argument("workload", choices=WORKLOAD_NAMES)
+    stats.add_argument("--platform", choices=PLATFORM_NAMES,
+                       default="charon")
+    stats.add_argument("--heap-mb", type=int, default=None)
+    stats.add_argument("--threads", type=int, default=None)
+    stats.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table")
+
+    timeline = commands.add_parser(
+        "timeline", help="Chrome-trace span timeline of a replay "
+                         "(load in Perfetto / chrome://tracing)")
+    timeline.add_argument("workload", choices=WORKLOAD_NAMES)
+    timeline.add_argument("--platform", choices=PLATFORM_NAMES,
+                          default="charon")
+    timeline.add_argument("--heap-mb", type=int, default=None)
+    timeline.add_argument("--threads", type=int, default=None)
+    timeline.add_argument("--out", default=None,
+                          help="output file (default "
+                               "<workload>-<platform>-timeline.json)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differential GC fuzzing with the reachability "
@@ -160,8 +213,24 @@ def _cmd_list() -> str:
     return "\n".join(lines)
 
 
+def _publish(out_dir: str, command: str, filename: str,
+             text: str) -> str:
+    """Write ``text`` and the session's provenance manifest into
+    ``out_dir``; returns a one-line note for the console."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    output_path = directory / filename
+    output_path.write_text(text + "\n")
+    manifest = provenance.write_manifest(directory, command=command,
+                                         outputs=[filename])
+    return f"\nwrote {output_path} (+ {manifest.name})"
+
+
 def _cmd_run(args) -> str:
     heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    tracer = get_tracer()
+    if args.trace_out:
+        tracer.enable()
     run = collect_run(args.workload, heap_bytes=heap_bytes)
     result = replay_platform(args.platform, args.workload,
                              heap_bytes=heap_bytes,
@@ -182,6 +251,9 @@ def _cmd_run(args) -> str:
                          f"{seconds * 1e3:8.3f} ms work")
     lines.append(f"  {'other':13s} "
                  f"{result.residual_seconds * 1e3:8.3f} ms work")
+    if args.trace_out:
+        path = tracer.write_chrome(args.trace_out)
+        lines.append(f"chrome trace: {path} ({len(tracer)} spans)")
     return "\n".join(lines)
 
 
@@ -282,6 +354,71 @@ def _cmd_report(args) -> str:
     return full_report(platform.device)
 
 
+def _cmd_stats(args) -> str:
+    from repro.experiments.runner import workload_config
+    from repro.heap.heap import JavaHeap
+    from repro.obs.adapters import (device_metrics, hmc_metrics,
+                                    timing_metrics, trace_cache_metrics)
+    from repro.obs.export import metrics_csv, metrics_snapshot
+    from repro.obs.metrics import MetricsRegistry
+    from repro.platform import TraceReplayer
+    from repro.workloads.base import workload_klasses
+
+    heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    run = collect_run(args.workload, heap_bytes=heap_bytes)
+    config = workload_config(args.workload, heap_bytes)
+    heap = JavaHeap(config.heap, klasses=workload_klasses())
+    platform = build_platform(args.platform, config, heap)
+    result = TraceReplayer(platform,
+                           threads=args.threads).replay_all(run.traces)
+
+    registry = MetricsRegistry()
+    timing_metrics(registry, result, workload=args.workload)
+    trace_cache_metrics(registry)
+    if platform.device is not None:
+        device_metrics(registry, platform.device)
+    if platform.hmc is not None:
+        hmc_metrics(registry, platform.hmc)
+    if args.format == "json":
+        return json.dumps(metrics_snapshot(registry), indent=2,
+                          sort_keys=True)
+    if args.format == "csv":
+        return metrics_csv(registry)
+    rows = []
+    for sample in registry.samples():
+        if sample["kind"] == "histogram":
+            value = (f"n={sample['count']} mean={sample['mean']:.4g} "
+                     f"p99={sample['p99']:.4g}")
+        else:
+            value = f"{sample['value']:.6g}"
+        labels = ";".join(f"{key}={val}" for key, val
+                          in sorted(sample["labels"].items()))
+        rows.append({"metric": sample["metric"],
+                     "kind": sample["kind"],
+                     "labels": labels, "value": value})
+    return render_table(
+        rows, title=f"{args.workload} on {args.platform}")
+
+
+def _cmd_timeline(args) -> str:
+    heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+    tracer = get_tracer()
+    tracer.enable()
+    collect_run(args.workload, heap_bytes=heap_bytes)
+    result = replay_platform(args.platform, args.workload,
+                             heap_bytes=heap_bytes,
+                             threads=args.threads)
+    out = args.out or f"{args.workload}-{args.platform}-timeline.json"
+    path = tracer.write_chrome(out)
+    covered = tracer.span_seconds("gc")
+    fraction = covered / result.wall_seconds if result.wall_seconds \
+        else 1.0
+    return (f"wrote {len(tracer)} spans to {path}\n"
+            f"simulated GC time covered: {covered * 1e3:.3f} ms of "
+            f"{result.wall_seconds * 1e3:.3f} ms "
+            f"({fraction * 100:.1f}%)")
+
+
 def _cmd_fuzz(args) -> int:
     from repro.config import default_fuzz_config
     from repro.fuzz import fuzz_seed
@@ -331,26 +468,47 @@ def _cmd_fuzz(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    install_env_exporters()
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print(_cmd_list())
     elif args.command == "run":
-        print(_cmd_run(args))
+        text = _cmd_run(args)
+        if args.out_dir:
+            text += _publish(args.out_dir, f"run {args.workload}",
+                             f"run-{args.workload}.txt", text)
+        print(text)
     elif args.command == "compare":
-        print(_cmd_compare(args))
+        text = _cmd_compare(args)
+        if args.out_dir:
+            text += _publish(args.out_dir, f"compare {args.workload}",
+                             f"compare-{args.workload}.txt", text)
+        print(text)
     elif args.command == "figure":
         generator = FIGURES[args.number]
         rows = generator(args.workloads) if args.workloads is not None \
             else generator()
-        print(render_table(rows, title=f"Figure {args.number}"))
+        text = render_table(rows, title=f"Figure {args.number}")
+        if args.out_dir:
+            text += _publish(args.out_dir, f"figure {args.number}",
+                             f"figure{args.number}.txt", text)
+        print(text)
     elif args.command == "table":
-        print(render_table(TABLES[args.number](),
-                           title=f"Table {args.number}"))
+        text = render_table(TABLES[args.number](),
+                            title=f"Table {args.number}")
+        if args.out_dir:
+            text += _publish(args.out_dir, f"table {args.number}",
+                             f"table{args.number}.txt", text)
+        print(text)
     elif args.command == "ablation":
         generator = ABLATIONS[args.name]
         rows = generator(args.workloads) if args.workloads is not None \
             else generator()
-        print(render_table(rows, title=f"Ablation: {args.name}"))
+        text = render_table(rows, title=f"Ablation: {args.name}")
+        if args.out_dir:
+            text += _publish(args.out_dir, f"ablation {args.name}",
+                             f"ablation-{args.name}.txt", text)
+        print(text)
     elif args.command == "trace":
         heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
         run = collect_run(args.workload, heap_bytes=heap_bytes)
@@ -368,6 +526,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_cache(args))
     elif args.command == "report":
         print(_cmd_report(args))
+    elif args.command == "stats":
+        print(_cmd_stats(args))
+    elif args.command == "timeline":
+        print(_cmd_timeline(args))
     elif args.command == "fuzz":
         return _cmd_fuzz(args)
     return 0

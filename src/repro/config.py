@@ -462,6 +462,8 @@ TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"          #: cache directory
 TRACE_CACHE_REQUIRE_ENV = "REPRO_TRACE_CACHE_REQUIRE"  #: miss = error
 REPLAY_JOBS_ENV = "REPRO_JOBS"                 #: replay_grid processes
 WORKLOADS_ENV = "REPRO_WORKLOADS"              #: comma-separated subset
+TRACE_OUT_ENV = "REPRO_TRACE_OUT"              #: Chrome trace at exit
+METRICS_OUT_ENV = "REPRO_METRICS_OUT"          #: metric snapshot at exit
 
 REPLAY_MODES = ("auto", "fast", "event")
 

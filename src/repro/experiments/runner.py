@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
@@ -27,6 +28,10 @@ from repro.errors import OutOfMemoryError
 from repro.experiments import trace_cache
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
 from repro.heap.heap import JavaHeap
+from repro.obs import provenance
+from repro.obs.adapters import timing_metrics
+from repro.obs.metrics import global_metrics
+from repro.obs.tracer import get_tracer
 from repro.platform import build_platform
 from repro.platform.fast_replay import FastTraceReplayer, make_replayer
 from repro.platform.timing import GCTimingResult
@@ -58,9 +63,18 @@ def collect_run(name: str,
     resolved = heap_bytes or scaled_heap_bytes(name)
     key = (name, resolved)
     if key not in _RUN_CACHE:
-        run, compiled = trace_cache.fetch_run(
-            name, workload_config(name, resolved),
-            lambda: run_workload(name, heap_bytes=resolved))
+        config = workload_config(name, resolved)
+        started = time.perf_counter()
+        with get_tracer().span("collect-run", cat="runner",
+                               workload=name):
+            run, compiled = trace_cache.fetch_run(
+                name, config,
+                lambda: run_workload(name, heap_bytes=resolved))
+        provenance.record_run(
+            workload=name, heap_bytes=resolved,
+            config_hash=trace_cache.run_cache_key(name, config),
+            cache="hit" if compiled is not None else "generated",
+            host_seconds=time.perf_counter() - started)
         _RUN_CACHE[key] = run
         if compiled is not None:
             _COMPILED_CACHE[key] = compiled
@@ -133,7 +147,11 @@ def replay_platform(platform_name: str, name: str,
             traces: Iterable = compiled_run_traces(name, heap_bytes)
         else:
             traces = run.traces
-        _REPLAY_CACHE[key] = replayer.replay_all(traces)
+        with get_tracer().span("replay", cat="runner", workload=name,
+                               platform=platform_name):
+            result = replayer.replay_all(traces)
+        timing_metrics(global_metrics(), result, workload=name)
+        _REPLAY_CACHE[key] = result
     return _REPLAY_CACHE[key]
 
 

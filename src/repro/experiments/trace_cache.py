@@ -35,10 +35,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import warnings
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.config import (SystemConfig, TRACE_CACHE_ENV,
                           TRACE_CACHE_REQUIRE_ENV)
@@ -64,8 +65,63 @@ _RUN_FIELDS = ("name", "heap_bytes", "allocated_bytes",
                "allocated_objects", "mutator_seconds", "minor_count",
                "major_count", "sweep_count")
 
-#: Cumulative cache behaviour for this process (see :func:`stats_line`).
-STATS: Dict[str, int] = {}
+
+class CacheStats:
+    """The cumulative cache tally, safe across threads *and* forked
+    workers.
+
+    Each field is a ``multiprocessing.Value`` in fork-shared memory
+    guarded by one shared lock, so :func:`fetch_run` calls from
+    :func:`repro.experiments.runner.replay_grid` worker processes (and
+    from threads) all land in the same tally the parent reports.  The
+    mapping protocol (``keys``/``__getitem__``/``items``) is kept so
+    existing ``dict(STATS)``-style consumers read it like the plain
+    dict it used to be.
+    """
+
+    FIELDS = ("hits", "misses", "stale", "stores", "generated")
+
+    def __init__(self) -> None:
+        self._lock = multiprocessing.RLock()
+        self._values = {name: multiprocessing.Value("q", 0, lock=False)
+                        for name in self.FIELDS}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name].value += amount
+
+    def __getitem__(self, name: str) -> int:
+        return int(self._values[name].value)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        with self._lock:
+            self._values[name].value = int(value)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self.FIELDS
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.FIELDS)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        snapshot = self.snapshot()
+        return iter(snapshot.items())
+
+    def update(self, **values: int) -> None:
+        with self._lock:
+            for name, value in values.items():
+                self._values[name].value = int(value)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent point-in-time copy of the tally."""
+        with self._lock:
+            return {name: int(value.value)
+                    for name, value in self._values.items()}
+
+
+#: Cumulative cache behaviour for this process tree (see
+#: :func:`stats_line`).
+STATS = CacheStats()
 
 
 class TraceCacheMiss(ReproError):
@@ -76,14 +132,11 @@ def reset_stats() -> None:
     STATS.update(hits=0, misses=0, stale=0, stores=0, generated=0)
 
 
-reset_stats()
-
-
 def stats_line() -> str:
     """One-line summary, e.g. for a benchmark session footer."""
     return ("trace cache: {hits} hit(s), {misses} miss(es), "
             "{stale} stale, {stores} store(s), {generated} run(s) "
-            "generated".format(**STATS))
+            "generated".format(**STATS.snapshot()))
 
 
 def cache_dir(directory: Union[str, Path, None] = None) -> Optional[Path]:
@@ -119,7 +172,7 @@ def store_run(directory: Union[str, Path], key: str,
     path = _entry_path(directory, key)
     save_traces_npz(run.traces, path, extra={
         "run": {name: getattr(run, name) for name in _RUN_FIELDS}})
-    STATS["stores"] += 1
+    STATS.add("stores")
     return path
 
 
@@ -145,7 +198,7 @@ def load_run(directory: Union[str, Path], key: str
     except (ConfigError, KeyError, TypeError) as exc:
         warnings.warn(f"discarding stale trace-cache entry {path.name}: "
                       f"{exc}", stacklevel=2)
-        STATS["stale"] += 1
+        STATS.add("stale")
         path.unlink(missing_ok=True)
         return None
     return run, compiled
@@ -170,16 +223,16 @@ def fetch_run(workload: str, config: SystemConfig,
     if directory is not None:
         cached = load_run(directory, key)
         if cached is not None:
-            STATS["hits"] += 1
+            STATS.add("hits")
             return cached
-        STATS["misses"] += 1
+        STATS.add("misses")
     if require:
         raise TraceCacheMiss(
             f"no cached traces for workload {workload!r} (key "
             f"{key[:12]}…) and {REPRO_TRACE_CACHE_REQUIRE} forbids "
             f"regenerating them")
     run = produce()
-    STATS["generated"] += 1
+    STATS.add("generated")
     if directory is not None:
         store_run(directory, key, run)
     return run, None

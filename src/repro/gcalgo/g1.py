@@ -36,6 +36,7 @@ from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                 RESIDUAL_COSTS, chunk_refs)
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import MarkWord, ObjectView
+from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE, KB, WORD, align_up
 
 
@@ -201,12 +202,17 @@ class G1Collector:
         """One stop-the-world mark + evacuate cycle."""
         for hook in self.pre_collect_hooks:
             hook(self.heap, "g1")
+        obs = get_tracer()
         trace = GCTrace("g1", heap_bytes=self.heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
                        96 * 1024)
-        live_by_region = self._mark(trace)
-        self._account_liveness(trace, live_by_region)
-        self._evacuate(trace, live_by_region)
+        with obs.span("collect", cat="collector", gc="g1"):
+            with obs.span("mark", cat="collector", gc="g1"):
+                live_by_region = self._mark(trace)
+            with obs.span("liveness", cat="collector", gc="g1"):
+                self._account_liveness(trace, live_by_region)
+            with obs.span("evacuate", cat="collector", gc="g1"):
+                self._evacuate(trace, live_by_region)
         self.collections += 1
         self.traces.append(trace)
         self._allocation_region = None

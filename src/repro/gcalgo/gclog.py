@@ -33,7 +33,8 @@ def _mb(value: int) -> str:
 def format_gc_line(trace: GCTrace,
                    seconds: Optional[float] = None) -> str:
     """One HotSpot-style log line for a collection."""
-    label = _LABELS[trace.kind]
+    # Unknown kinds (a collector added before its label) still log.
+    label = _LABELS.get(trace.kind, f"GC ({trace.kind})")
     survived = trace.bytes_copied
     before = survived + trace.bytes_freed
     parts = [f"[{label} {_mb(before)}->{_mb(survived)}"]

@@ -39,6 +39,7 @@ from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                RESIDUAL_COSTS, chunk_refs)
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import ObjectView
+from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE, WORD
 
 #: Compaction region size: 512 heap words, HotSpot's RegionSize.
@@ -61,22 +62,30 @@ class MajorGC:
 
     def collect(self) -> GCTrace:
         heap = self.heap
+        obs = get_tracer()
         trace = GCTrace("major", heap_bytes=heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
                        96 * 1024)
         heap.bitmaps.clear()
         old_used_before = heap.layout.old.used
 
-        live_old, live_young = self._mark(trace)
-        region_live = self._region_live(trace, live_old)
-        prefix_end = self._effective_prefix_end(
-            live_old, self._dense_prefix_end(region_live))
-        region_dest = self._summarize(trace, region_live, prefix_end)
-        self._adjust_pointers(trace, live_old, live_young, region_dest,
-                              prefix_end)
-        self._compact(trace, live_old, region_dest, prefix_end)
-        self._unmark_young(live_young)
-        self._rebuild_cards(trace)
+        with obs.span("collect", cat="collector", gc="major"):
+            with obs.span("mark", cat="collector", gc="major"):
+                live_old, live_young = self._mark(trace)
+            with obs.span("summary", cat="collector", gc="major"):
+                region_live = self._region_live(trace, live_old)
+                prefix_end = self._effective_prefix_end(
+                    live_old, self._dense_prefix_end(region_live))
+                region_dest = self._summarize(trace, region_live,
+                                              prefix_end)
+            with obs.span("adjust", cat="collector", gc="major"):
+                self._adjust_pointers(trace, live_old, live_young,
+                                      region_dest, prefix_end)
+            with obs.span("compact", cat="collector", gc="major"):
+                self._compact(trace, live_old, region_dest, prefix_end)
+                self._unmark_young(live_young)
+            with obs.span("card-rebuild", cat="collector", gc="major"):
+                self._rebuild_cards(trace)
 
         trace.bytes_freed = old_used_before - heap.layout.old.used
         return trace

@@ -22,6 +22,7 @@ from repro.gcalgo.stack import ObjectStack
 from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                RESIDUAL_COSTS, chunk_refs)
 from repro.heap.heap import JavaHeap
+from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE
 
 
@@ -34,11 +35,15 @@ class MarkSweepGC:
         self.free_list: List[Tuple[int, int]] = []
 
     def collect(self) -> GCTrace:
+        obs = get_tracer()
         trace = GCTrace("sweep", heap_bytes=self.heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["sweep"],
                        64 * 1024)
-        marked = self._mark(trace)
-        self._sweep(trace, marked)
+        with obs.span("collect", cat="collector", gc="sweep"):
+            with obs.span("mark", cat="collector", gc="sweep"):
+                marked = self._mark(trace)
+            with obs.span("sweep", cat="collector", gc="sweep"):
+                self._sweep(trace, marked)
         return trace
 
     def _mark(self, trace: GCTrace) -> set:

@@ -25,6 +25,7 @@ from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                 RESIDUAL_COSTS, chunk_refs)
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import MarkWord
+from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE
 
 
@@ -60,6 +61,7 @@ class MinorGC:
                 "promotion; run a MajorGC first")
         heap = self.heap
         layout = heap.layout
+        obs = get_tracer()
         trace = GCTrace("minor", heap_bytes=heap.config.heap_bytes)
         stack: ObjectStack[int] = ObjectStack()
         # Fixed collection overheads: VM-op setup, thread-stack roots,
@@ -67,43 +69,53 @@ class MinorGC:
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["minor"],
                        64 * 1024)
 
-        # Step 1: roots.  Root slot i is encoded as -(i + 1); heap slots
-        # are their (positive) addresses.
-        for index in range(len(heap.roots)):
-            stack.push(-(index + 1))
-            trace.residual("root", RESIDUAL_COSTS["root"], CACHE_LINE)
+        with obs.span("collect", cat="collector", gc="minor"):
+            # Step 1: roots.  Root slot i is encoded as -(i + 1); heap
+            # slots are their (positive) addresses.
+            with obs.span("roots", cat="collector", gc="minor"):
+                for index in range(len(heap.roots)):
+                    stack.push(-(index + 1))
+                    trace.residual("root", RESIDUAL_COSTS["root"],
+                                   CACHE_LINE)
 
-        # Step 2: Search the card table, then collect old slots on dirty
-        # cards that hold young references.
-        self._card_search(trace, stack)
+            # Step 2: Search the card table, then collect old slots on
+            # dirty cards that hold young references.
+            with obs.span("card-search", cat="collector", gc="minor"):
+                self._card_search(trace, stack)
 
-        # Step 3: drain.
-        eden, from_space = layout.eden, layout.survivor_from
-        while stack:
-            slot = stack.pop()
-            trace.residual("drain", RESIDUAL_COSTS["pop"])
-            ref = self._read_slot(slot)
-            if ref == 0:
-                continue
-            if not (eden.contains(ref) or from_space.contains(ref)):
-                continue  # null, old, or already-evacuated To-space object
-            mark = heap.mark_word(ref)
-            trace.residual("drain", RESIDUAL_COSTS["check_mark"],
-                           CACHE_LINE)
-            if mark.is_forwarded:
-                new_addr = mark.forwarding_address
-            else:
-                new_addr = self._evacuate(ref, mark, trace, stack)
-                trace.objects_visited += 1
-            self._write_slot(slot, new_addr)
-            trace.residual("drain", RESIDUAL_COSTS["forward_update"])
+            # Step 3: drain.
+            eden, from_space = layout.eden, layout.survivor_from
+            with obs.span("drain", cat="collector", gc="minor"):
+                while stack:
+                    slot = stack.pop()
+                    trace.residual("drain", RESIDUAL_COSTS["pop"])
+                    ref = self._read_slot(slot)
+                    if ref == 0:
+                        continue
+                    if not (eden.contains(ref)
+                            or from_space.contains(ref)):
+                        # null, old, or already-evacuated To-space object
+                        continue
+                    mark = heap.mark_word(ref)
+                    trace.residual("drain", RESIDUAL_COSTS["check_mark"],
+                                   CACHE_LINE)
+                    if mark.is_forwarded:
+                        new_addr = mark.forwarding_address
+                    else:
+                        new_addr = self._evacuate(ref, mark, trace,
+                                                  stack)
+                        trace.objects_visited += 1
+                    self._write_slot(slot, new_addr)
+                    trace.residual("drain",
+                                   RESIDUAL_COSTS["forward_update"])
 
-        # Step 4: clean up and swap semispaces (Fig. 1).
-        freed = eden.used + from_space.used - trace.bytes_copied
-        trace.bytes_freed = max(0, freed)
-        eden.reset()
-        from_space.reset()
-        layout.swap_survivors()
+            # Step 4: clean up and swap semispaces (Fig. 1).
+            with obs.span("cleanup", cat="collector", gc="minor"):
+                freed = eden.used + from_space.used - trace.bytes_copied
+                trace.bytes_freed = max(0, freed)
+                eden.reset()
+                from_space.reset()
+                layout.swap_survivors()
         return trace
 
     # -- internals ------------------------------------------------------------

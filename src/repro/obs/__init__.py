@@ -1,0 +1,46 @@
+"""Unified telemetry: spans, metrics, exporters, and provenance.
+
+The experiment pipeline produces numbers in four historically separate
+places — :mod:`repro.sim.stats` counters, the
+:mod:`repro.core.report` device dumps, the trace-cache tally, and the
+``gclog`` lines.  This package composes them into one picture of a
+run:
+
+* :mod:`repro.obs.tracer` — a span tracer with two clock domains:
+  *simulated* seconds (what the replayers compute) and *host* wall
+  time (what the functional collectors and the experiment driver
+  actually spend);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters, gauges and histograms (with percentile queries) that
+  absorbs the old ``sim.stats`` primitives;
+* :mod:`repro.obs.adapters` — bridges pulling the trace-cache tally,
+  :class:`~repro.core.device.CharonDevice` counters, HMC traffic and
+  :class:`~repro.platform.timing.GCTimingResult`\\ s into the registry;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) plus JSON/CSV metric snapshots;
+* :mod:`repro.obs.provenance` — per-run manifests (config hash,
+  workload, platform, schema/generator versions, cache behaviour, host
+  wall time) written next to every runner/figure/benchmark output.
+
+Everything is off by default and adds only a guard check when
+disabled; set ``REPRO_TRACE_OUT`` (or pass ``--trace-out``) to record
+and export a timeline.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, global_metrics)
+from repro.obs.tracer import (CLOCK_HOST, CLOCK_SIM, Tracer,
+                              get_tracer, install_env_exporters)
+
+__all__ = [
+    "CLOCK_HOST",
+    "CLOCK_SIM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "get_tracer",
+    "global_metrics",
+    "install_env_exporters",
+]

@@ -1,0 +1,90 @@
+"""Exporters: Chrome trace-event JSON and metric snapshots.
+
+* :func:`write_chrome_trace` — the span timeline as a Chrome
+  trace-event **JSON array** of complete (``ph: "X"``) events with
+  ``pid``/``tid``/``ts``, loadable in Perfetto or ``chrome://tracing``;
+* :func:`metrics_snapshot` / :func:`write_metrics_json` — the registry
+  as a versioned JSON document;
+* :func:`metrics_csv` / :func:`write_metrics_csv` — the same samples
+  as CSV for spreadsheets and plotting scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Bump when the snapshot document layout changes.
+METRICS_SCHEMA_VERSION = 1
+
+_CSV_COLUMNS = ("metric", "kind", "labels", "value", "count", "sum",
+                "mean", "p50", "p90", "p99")
+
+
+def _ensure_parent(path: Path) -> None:
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+
+# -- Chrome trace ----------------------------------------------------------
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, object]]:
+    """The tracer's events in Chrome trace-event form."""
+    return tracer.chrome_events()
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Write ``tracer``'s timeline as a Chrome trace JSON array."""
+    path = Path(path)
+    _ensure_parent(path)
+    path.write_text(json.dumps(chrome_trace_events(tracer)))
+    return path
+
+
+# -- metric snapshots ------------------------------------------------------
+
+def metrics_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry as a plain versioned document."""
+    return {
+        "schema": METRICS_SCHEMA_VERSION,
+        "metrics": registry.samples(),
+    }
+
+
+def write_metrics_json(path: Union[str, Path],
+                       registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    _ensure_parent(path)
+    path.write_text(json.dumps(metrics_snapshot(registry), indent=2,
+                               sort_keys=True))
+    return path
+
+
+def metrics_csv(registry: MetricsRegistry) -> str:
+    """The registry's samples as CSV text (one row per sample)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS,
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in registry.samples():
+        rendered = dict(row)
+        rendered["labels"] = ";".join(
+            f"{key}={value}"
+            for key, value in sorted(row["labels"].items()))
+        writer.writerow({column: rendered.get(column, "")
+                         for column in _CSV_COLUMNS})
+    return buffer.getvalue()
+
+
+def write_metrics_csv(path: Union[str, Path],
+                      registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    _ensure_parent(path)
+    path.write_text(metrics_csv(registry))
+    return path

@@ -44,6 +44,7 @@ from repro.errors import ConfigError, ReproError
 from repro.gcalgo.columnar import (CODE_TO_PRIMITIVE, CompiledTrace,
                                    NO_BITS_CACHED, compile_trace)
 from repro.gcalgo.trace import GCTrace, Primitive, PRIMITIVE_TYPE_CODES
+from repro.obs.tracer import get_tracer
 from repro.platform.base import Platform
 from repro.platform.replay import TraceReplayer
 from repro.platform.timing import GCTimingResult
@@ -80,9 +81,17 @@ class FastTraceReplayer(TraceReplayer):
         compiled = (trace if isinstance(trace, CompiledTrace)
                     else compile_trace(trace))
         platform = self.platform
+        # Single enabled check per GC; the vectorized hot path below
+        # only pays an ``is None`` test per *phase*, not per event.
+        obs = get_tracer()
+        if not obs.enabled:
+            obs = None
         gc_start = self.clock
         work_start = platform.begin_gc(gc_start)
         flush_seconds = work_start - gc_start
+        if obs is not None and flush_seconds > 0.0:
+            obs.add_span("llc-flush", gc_start, flush_seconds,
+                         cat="phase", args={"platform": platform.name})
 
         primitive_seconds: Dict[Primitive, float] = {}
         residual_seconds = 0.0
@@ -94,6 +103,7 @@ class FastTraceReplayer(TraceReplayer):
         now = work_start
         runs = compiled.phase_runs()
         for name, lo, hi in runs:
+            phase_start = now
             seg = durations[lo:hi]
             # Phase makespan: one thread runs the events back to back;
             # with several threads only the zero-duration ideal kernel
@@ -115,6 +125,10 @@ class FastTraceReplayer(TraceReplayer):
                 host_busy += share * self._residual_threads
                 now += share
             platform.phase_end(name)
+            if obs is not None:
+                obs.add_span(name, phase_start, now - phase_start,
+                             cat="phase", args={"gc": compiled.kind,
+                                                "events": hi - lo})
 
         # Residual-only phases that had no events (e.g. summary), in
         # the trace's insertion order — same as the event-by-event path.
@@ -126,9 +140,17 @@ class FastTraceReplayer(TraceReplayer):
                 now, work, self._residual_threads)
             residual_seconds += share * self._residual_threads
             host_busy += share * self._residual_threads
+            if obs is not None:
+                obs.add_span(name, now, share, cat="phase",
+                             args={"gc": compiled.kind, "events": 0})
             now += share
             platform.phase_end(name)
 
+        if obs is not None:
+            obs.add_span(f"{compiled.kind} gc", gc_start, now - gc_start,
+                         cat="gc",
+                         args={"platform": platform.name,
+                               "events": len(compiled.events)})
         self.clock = now
         return self._package(compiled.kind, gc_start, now, flush_seconds,
                              primitive_seconds, residual_seconds,

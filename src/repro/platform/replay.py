@@ -17,6 +17,7 @@ import heapq
 from typing import Dict, Iterable, List, Tuple
 
 from repro.gcalgo.trace import GCTrace, Primitive, TraceEvent
+from repro.obs.tracer import get_tracer
 from repro.platform.base import Platform
 from repro.platform.timing import GCTimingResult, PlatformEnergy
 
@@ -45,9 +46,17 @@ class TraceReplayer:
     def replay(self, trace: GCTrace) -> GCTimingResult:
         """Replay one GC trace; returns its timing result."""
         platform = self.platform
+        # One enabled check per GC keeps the disabled path at a single
+        # attribute read; ``obs is None`` guards every span below.
+        obs = get_tracer()
+        if not obs.enabled:
+            obs = None
         gc_start = self.clock
         work_start = platform.begin_gc(gc_start)
         flush_seconds = work_start - gc_start
+        if obs is not None and flush_seconds > 0.0:
+            obs.add_span("llc-flush", gc_start, flush_seconds,
+                         cat="phase", args={"platform": platform.name})
 
         thread_clock = [work_start] * self.threads
         primitive_seconds: Dict[Primitive, float] = {}
@@ -57,6 +66,7 @@ class TraceReplayer:
 
         phases = self._phases(trace)
         for phase, events in phases:
+            phase_start = thread_clock[0]
             # Least-loaded thread assignment via a heap of clocks.
             heap: List[Tuple[float, int]] = [
                 (clock, index) for index, clock in enumerate(thread_clock)]
@@ -92,6 +102,11 @@ class TraceReplayer:
                 barrier = max(thread_clock)
                 thread_clock = [barrier] * self.threads
             platform.phase_end(phase)
+            if obs is not None:
+                obs.add_span(phase, phase_start,
+                             thread_clock[0] - phase_start, cat="phase",
+                             args={"gc": trace.kind,
+                                   "events": len(events)})
 
         # Residual-only phases that had no events (e.g. summary).
         # ``phases`` is reused from above: event phase segmentation is a
@@ -105,9 +120,17 @@ class TraceReplayer:
                 now, trace.residuals[phase], self._residual_threads)
             residual_seconds += share * self._residual_threads
             host_busy += share * self._residual_threads
+            if obs is not None:
+                obs.add_span(phase, now, share, cat="phase",
+                             args={"gc": trace.kind, "events": 0})
             now += share
             platform.phase_end(phase)
 
+        if obs is not None:
+            obs.add_span(f"{trace.kind} gc", gc_start, now - gc_start,
+                         cat="gc",
+                         args={"platform": platform.name,
+                               "events": len(trace.events)})
         self.clock = now
         return self._package(trace.kind, gc_start, now, flush_seconds,
                              primitive_seconds, residual_seconds,

@@ -12,7 +12,7 @@ command-, limited.
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import FluidResource, LatencyLink, ResourcePath
-from repro.sim.stats import Counter, Histogram, StatsRegistry
+from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
@@ -21,6 +21,7 @@ __all__ = [
     "LatencyLink",
     "ResourcePath",
     "Counter",
+    "Gauge",
     "Histogram",
     "StatsRegistry",
 ]

@@ -1,110 +1,20 @@
 """Lightweight statistics primitives shared by all models.
 
-zsim-style: every component registers named counters/histograms with a
-:class:`StatsRegistry`; experiment drivers dump the registry into report
-rows.  Keeping statistics out of the component logic makes the timing
-models easier to audit.
+Absorbed by the unified telemetry layer: the primitives now live in
+:mod:`repro.obs.metrics` and this module re-exports them so the
+simulation components (and existing imports) keep working unchanged.
+:class:`StatsRegistry` *is* the unified
+:class:`~repro.obs.metrics.MetricsRegistry` — zsim-style dotted scopes
+still work, and labeled metrics, gauges and percentile queries come
+along for free.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry)
 
+#: The historical name; every component registers against this class.
+StatsRegistry = MetricsRegistry
 
-class Counter:
-    """A monotonically increasing scalar statistic."""
-
-    def __init__(self, name: str, description: str = "") -> None:
-        self.name = name
-        self.description = description
-        self.value = 0.0
-
-    def add(self, amount: float = 1.0) -> None:
-        self.value += amount
-
-    def reset(self) -> None:
-        self.value = 0.0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name}={self.value:g})"
-
-
-class Histogram:
-    """A fixed-bucket histogram for latency/size distributions."""
-
-    def __init__(self, name: str, bucket_bounds: List[float],
-                 description: str = "") -> None:
-        if sorted(bucket_bounds) != list(bucket_bounds):
-            raise ValueError("bucket bounds must be sorted ascending")
-        self.name = name
-        self.description = description
-        self.bounds = list(bucket_bounds)
-        self.counts = [0] * (len(bucket_bounds) + 1)
-        self.total = 0
-        self.sum = 0.0
-
-    def record(self, value: float, count: int = 1) -> None:
-        index = 0
-        while index < len(self.bounds) and value > self.bounds[index]:
-            index += 1
-        self.counts[index] += count
-        self.total += count
-        self.sum += value * count
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.total = 0
-        self.sum = 0.0
-
-
-@dataclass
-class StatsRegistry:
-    """A hierarchical namespace of counters and histograms."""
-
-    prefix: str = ""
-    _counters: "OrderedDict[str, Counter]" = field(default_factory=OrderedDict)
-    _histograms: "OrderedDict[str, Histogram]" = field(default_factory=OrderedDict)
-
-    def counter(self, name: str, description: str = "") -> Counter:
-        """Get or create the counter ``name``."""
-        full = self._full(name)
-        if full not in self._counters:
-            self._counters[full] = Counter(full, description)
-        return self._counters[full]
-
-    def histogram(self, name: str, bounds: List[float],
-                  description: str = "") -> Histogram:
-        """Get or create the histogram ``name``."""
-        full = self._full(name)
-        if full not in self._histograms:
-            self._histograms[full] = Histogram(full, bounds, description)
-        return self._histograms[full]
-
-    def scope(self, name: str) -> "StatsRegistry":
-        """A child view sharing storage but prefixing names with ``name``."""
-        child = StatsRegistry(prefix=self._full(name))
-        child._counters = self._counters
-        child._histograms = self._histograms
-        return child
-
-    def _full(self, name: str) -> str:
-        return f"{self.prefix}.{name}" if self.prefix else name
-
-    def counters(self) -> Iterator[Tuple[str, float]]:
-        for name, counter in self._counters.items():
-            yield name, counter.value
-
-    def as_dict(self) -> Dict[str, float]:
-        return {name: counter.value for name, counter in self._counters.items()}
-
-    def reset(self) -> None:
-        for counter in self._counters.values():
-            counter.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+__all__ = ["Counter", "Gauge", "Histogram", "StatsRegistry"]

@@ -1,0 +1,81 @@
+"""core/report.py: unit rows, device summary, HMC traffic rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import (device_summary, full_report,
+                               traffic_summary, unit_rows)
+from repro.platform.replay import TraceReplayer
+from tests.conftest import platform_for
+
+
+@pytest.fixture(scope="module")
+def replayed_charon(mixed_run):
+    # mixed_run is the session-scoped conftest fixture.
+    platform, _, _ = platform_for("charon")
+    result = TraceReplayer(platform).replay_all(mixed_run.traces)
+    return platform, result
+
+
+def test_unit_rows_cover_every_unit(replayed_charon):
+    platform, _ = replayed_charon
+    rows = unit_rows(platform.device)
+    total_units = sum(len(units)
+                      for units in platform.device.units.values())
+    assert len(rows) == total_units
+    assert all(set(row) == {"unit", "cube", "commands", "busy_us"}
+               for row in rows)
+    # A replayed mixed run drove at least one unit of each used kind.
+    assert sum(row["commands"] for row in rows) > 0
+    assert any(row["busy_us"] > 0 for row in rows)
+    # Unit names are kind#id and cubes are in range.
+    assert all("#" in row["unit"] for row in rows)
+
+
+def test_unit_rows_sorted_and_deterministic(replayed_charon):
+    platform, _ = replayed_charon
+    assert unit_rows(platform.device) == unit_rows(platform.device)
+
+
+def test_device_summary_aggregates(replayed_charon):
+    platform, _ = replayed_charon
+    summary = device_summary(platform.device)
+    assert summary["offloads"] > 0
+    assert summary["request_bytes"] > 0
+    assert summary["response_bytes"] > 0
+    assert summary["unit_busy_us_total"] > 0
+    assert summary["tlb_lookups"] > 0
+    assert 0.0 <= summary["tlb_remote_fraction"] <= 1.0
+    assert 0.0 <= summary["bitmap_cache_hit_rate"] <= 1.0
+    assert 0.0 <= summary["bitmap_count_hit_rate"] <= 1.0
+    assert summary["bitmap_cache_flushes"] >= 0
+
+
+def test_device_summary_on_idle_device():
+    platform, _, _ = platform_for("charon")
+    summary = device_summary(platform.device)
+    assert summary["offloads"] == 0
+    assert summary["tlb_remote_fraction"] == 0.0
+
+
+def test_traffic_summary_locality_rows(replayed_charon):
+    platform, _ = replayed_charon
+    traffic = traffic_summary(platform.hmc)
+    assert set(traffic) == {"tsv_bytes", "link_bytes",
+                            "host_link_bytes", "unit_local_bytes",
+                            "unit_remote_bytes", "local_fraction",
+                            "dram_energy_mj"}
+    assert traffic["tsv_bytes"] > 0
+    assert 0.0 <= traffic["local_fraction"] <= 1.0
+    assert traffic["unit_local_bytes"] >= 0
+    assert traffic["unit_remote_bytes"] >= 0
+    assert traffic["dram_energy_mj"] > 0
+
+
+def test_full_report_renders_all_sections(replayed_charon):
+    platform, _ = replayed_charon
+    report = full_report(platform.device)
+    for title in ("device", "units", "traffic"):
+        assert title in report
+    assert "offloads" in report and "tsv_bytes" in report

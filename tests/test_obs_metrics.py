@@ -1,0 +1,148 @@
+"""The unified metrics registry: labels, scopes, percentiles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, global_metrics,
+                               reset_global_metrics)
+
+
+def test_counter_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("events", "how many")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    gauge = registry.gauge("depth")
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3.0
+    assert registry.counter("events") is counter
+    assert registry.gauge("depth") is gauge
+
+
+def test_labels_create_child_metrics():
+    registry = MetricsRegistry()
+    a = registry.counter("wall", platform="charon", workload="spark-km")
+    b = registry.counter("wall", platform="ideal", workload="spark-km")
+    assert a is not b
+    # Label order does not matter: same set -> same child.
+    again = registry.counter("wall", workload="spark-km",
+                             platform="charon")
+    assert again is a
+    a.add(1.5)
+    keys = dict(registry.counters())
+    assert keys["wall{platform=charon,workload=spark-km}"] == 1.5
+    assert a.labels == {"platform": "charon", "workload": "spark-km"}
+
+
+def test_scope_shares_storage_with_prefix():
+    registry = MetricsRegistry()
+    scope = registry.scope("charon")
+    scope.counter("offloads").add(2)
+    assert dict(registry.counters()) == {"charon.offloads": 2.0}
+    nested = scope.scope("tlb")
+    nested.gauge("lookups").set(9)
+    assert dict(registry.gauges()) == {"charon.tlb.lookups": 9.0}
+
+
+def test_samples_rows():
+    registry = MetricsRegistry()
+    registry.counter("a", "desc").add(2)
+    registry.gauge("b", x="1").set(4)
+    hist = registry.histogram("lat", [1.0, 2.0, 4.0])
+    hist.record(0.5)
+    hist.record(3.0)
+    rows = {(row["metric"], row["kind"]): row
+            for row in registry.samples()}
+    assert rows[("a", "counter")]["value"] == 2.0
+    assert rows[("b", "gauge")]["labels"] == {"x": "1"}
+    hrow = rows[("lat", "histogram")]
+    assert hrow["count"] == 2
+    assert hrow["sum"] == pytest.approx(3.5)
+    assert hrow["p50"] in (1.0, 2.0, 4.0)
+
+
+def test_reset_zeroes_everything():
+    registry = MetricsRegistry()
+    registry.counter("a").add(3)
+    registry.gauge("g").set(2)
+    hist = registry.histogram("h", [1.0])
+    hist.record(0.5)
+    registry.reset()
+    assert registry.counter("a").value == 0.0
+    assert registry.gauge("g").value == 0.0
+    assert hist.total == 0 and hist.sum == 0.0
+
+
+def test_global_registry_reset():
+    global_metrics().counter("tmp").add(1)
+    reset_global_metrics()
+    assert list(global_metrics().counters()) == []
+
+
+def test_histogram_bounds_must_be_sorted():
+    with pytest.raises(ValueError):
+        Histogram("h", [2.0, 1.0])
+
+
+def test_percentile_validates_and_handles_empty():
+    hist = Histogram("h", [1.0, 2.0])
+    assert hist.percentile(50) == 0.0
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_percentile_conservative_bucket_answer():
+    hist = Histogram("h", [1.0, 2.0, 4.0, 8.0])
+    for value in (0.5, 0.7, 1.5, 3.0, 3.5, 6.0, 100.0):
+        hist.record(value)
+    # 7 observations; p50 needs 3.5 -> cumulative hits in the
+    # (2, 4] bucket.
+    assert hist.percentile(50) == 4.0
+    # The overflow observation clamps to the last bound.
+    assert hist.percentile(100) == 8.0
+
+
+_BOUNDS = st.lists(
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=8, unique=True).map(sorted)
+_VALUES = st.lists(
+    st.floats(min_value=0.0, max_value=2e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=50)
+
+
+@given(bounds=_BOUNDS, values=_VALUES,
+       p1=st.floats(min_value=0, max_value=100),
+       p2=st.floats(min_value=0, max_value=100))
+def test_percentile_monotone_in_p(bounds, values, p1, p2):
+    hist = Histogram("h", list(bounds))
+    for value in values:
+        hist.record(value)
+    lo, hi = sorted((p1, p2))
+    assert hist.percentile(lo) <= hist.percentile(hi)
+
+
+@given(bounds=_BOUNDS, values=_VALUES,
+       p=st.floats(min_value=0, max_value=100))
+def test_percentile_answers_a_bucket_bound(bounds, values, p):
+    hist = Histogram("h", list(bounds))
+    for value in values:
+        hist.record(value)
+    assert hist.percentile(p) in bounds
+
+
+def test_sim_stats_shim_is_the_same_classes():
+    from repro.sim import stats
+
+    assert stats.StatsRegistry is MetricsRegistry
+    assert stats.Counter is Counter
+    assert stats.Gauge is Gauge
+    assert stats.Histogram is Histogram

@@ -1,0 +1,97 @@
+"""Provenance manifests: session runs, round-trips, cache-key match."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import trace_cache
+from repro.experiments.runner import workload_config
+from repro.gcalgo.columnar import TRACE_SCHEMA_VERSION
+from repro.obs import provenance
+
+
+@pytest.fixture(autouse=True)
+def fresh_session():
+    provenance.reset_session()
+    yield
+    provenance.reset_session()
+
+
+def _record(cache="generated"):
+    config = workload_config("graphchi-als")
+    key = trace_cache.run_cache_key("graphchi-als", config)
+    return provenance.record_run(
+        workload="graphchi-als",
+        heap_bytes=config.heap.heap_bytes,
+        config_hash=key, cache=cache, host_seconds=0.125), key
+
+
+def test_record_run_validates_cache_kind():
+    with pytest.raises(ValueError):
+        provenance.record_run("w", 1, "hash", cache="maybe",
+                              host_seconds=0.0)
+
+
+def test_session_runs_are_copies():
+    _record()
+    runs = provenance.session_runs()
+    runs[0]["workload"] = "tampered"
+    assert provenance.session_runs()[0]["workload"] == "graphchi-als"
+
+
+def test_build_manifest_contents():
+    record, key = _record(cache="hit")
+    manifest = provenance.build_manifest(command="test", outputs=["x"])
+    assert manifest["schema"] == provenance.MANIFEST_SCHEMA_VERSION
+    assert manifest["trace_schema_version"] == TRACE_SCHEMA_VERSION
+    assert manifest["generator_version"] == \
+        trace_cache.GENERATOR_VERSION
+    assert manifest["command"] == "test"
+    assert manifest["outputs"] == ["x"]
+    assert manifest["runs"] == [record]
+    assert set(manifest["trace_cache"]) == set(
+        trace_cache.CacheStats.FIELDS)
+    assert manifest["host_wall_seconds"] >= 0.0
+    assert "python" in manifest and "platform" in manifest
+
+
+def test_manifest_config_hash_is_the_trace_cache_key():
+    """The acceptance bar: an output's manifest cross-references the
+    cache entry the same run would be stored under, byte for byte."""
+    record, key = _record()
+    assert record["config_hash"] == key
+    # The key is what store_run would name the .npz entry.
+    assert key == trace_cache.run_cache_key(
+        "graphchi-als", workload_config("graphchi-als"))
+
+
+def test_write_load_round_trip(tmp_path):
+    _record()
+    path = provenance.write_manifest(tmp_path / "out", command="cmd",
+                                     outputs=["table.txt"])
+    assert path == provenance.manifest_path(tmp_path / "out")
+    loaded = provenance.load_manifest(path)
+    assert loaded["command"] == "cmd"
+    assert loaded["runs"][0]["cache"] == "generated"
+    assert provenance.round_trips(path)
+
+
+def test_named_manifest(tmp_path):
+    path = provenance.write_manifest(tmp_path,
+                                     name="fig12.manifest.json")
+    assert path.name == "fig12.manifest.json"
+    assert provenance.round_trips(path)
+
+
+def test_runner_records_provenance_with_matching_hash():
+    """collect_run reports every capture with the exact cache key."""
+    from repro.experiments.runner import collect_run
+
+    heap_bytes = 16 * (1 << 20) + (1 << 16)  # unique -> not memoised
+    collect_run("graphchi-als", heap_bytes=heap_bytes)
+    run = provenance.session_runs()[-1]
+    assert run["workload"] == "graphchi-als"
+    assert run["cache"] in ("hit", "generated")
+    assert run["host_seconds"] > 0.0
+    assert run["config_hash"] == trace_cache.run_cache_key(
+        "graphchi-als", workload_config("graphchi-als", heap_bytes))

@@ -214,3 +214,65 @@ class TestInterleavedReuse:
         assert trace_cache.clear(tmp_path) == 1
         assert list(tmp_path.glob("*.npz")) == []
         assert trace_cache.clear(tmp_path) == 0
+
+
+class TestCacheStats:
+    """The tally must survive threads and forked grid workers."""
+
+    def test_mapping_protocol_reads_like_the_old_dict(self):
+        stats = trace_cache.CacheStats()
+        stats.add("hits", 3)
+        stats["misses"] = 2
+        assert stats["hits"] == 3
+        assert dict(stats.items())["misses"] == 2
+        assert tuple(stats) == trace_cache.CacheStats.FIELDS
+        assert set(stats.keys()) == set(stats.snapshot())
+
+    def test_thread_safety(self):
+        import threading
+
+        stats = trace_cache.CacheStats()
+        per_thread, threads = 2000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.add("hits")
+
+        workers = [threading.Thread(target=hammer)
+                   for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert stats["hits"] == per_thread * threads
+
+    def test_fork_shared_with_worker_processes(self):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable")
+        stats = trace_cache.CacheStats()
+        stats.add("generated")
+
+        def work():
+            stats.add("hits", 5)
+            stats.add("stores")
+
+        workers = [context.Process(target=work) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        # The children's increments land in the parent's tally.
+        assert stats.snapshot() == {"hits": 20, "misses": 0,
+                                    "stale": 0, "stores": 4,
+                                    "generated": 1}
+
+    def test_global_stats_surface_even_at_zero(self):
+        # `repro cache stats` prints the tally before any fetch.
+        assert "0 hit(s)" in trace_cache.stats_line()
+        trace_cache.STATS.add("hits")
+        assert "1 hit(s)" in trace_cache.stats_line()

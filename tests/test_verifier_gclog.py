@@ -121,6 +121,18 @@ class TestGcLog:
     def test_g1_label(self):
         assert "G1" in format_gc_line(GCTrace("g1"))
 
+    def test_unknown_kind_falls_back_instead_of_raising(self):
+        # A collector added before its label lands in _LABELS must
+        # still log.  GCTrace validates kinds at construction, so an
+        # unknown kind can only arrive by mutation — which is exactly
+        # how a half-integrated collector would surface it.
+        trace = GCTrace("minor")
+        trace.kind = "zgc"
+        trace.bytes_copied = 1 << 20
+        line = format_gc_line(trace, seconds=0.5)
+        assert line.startswith("[GC (zgc) 1.0M->1.0M")
+        assert "0.500000 secs" in line
+
 
 class TestVerifierExtensions:
     """Survivor-space and strict card-table checks (fuzz oracle deps)."""
