@@ -125,7 +125,44 @@ def check_artifacts(cache: Path) -> None:
           f"{checked} manifest run(s) matched to cache keys")
 
 
+def run_replay_kernel_bench() -> None:
+    """Run the replay-kernel benchmark and validate its report.
+
+    ``bench_replay_kernels.py`` exits non-zero on an equivalence
+    failure or a sub-5x charon/cpu-hmc speedup; on success the report
+    must carry a verdict and speedup for every platform.
+    """
+    report_path = ARTIFACTS / "BENCH_replay.json"
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    process = subprocess.run(
+        [sys.executable, str(REPO / "scripts" /
+                             "bench_replay_kernels.py"),
+         str(report_path)],
+        cwd=REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if process.returncode != 0:
+        print(process.stdout)
+        sys.exit(f"bench smoke: replay-kernel benchmark failed "
+                 f"(exit {process.returncode})")
+    report = json.loads(report_path.read_text())
+    platforms = report.get("platforms", {})
+    expected = {"ideal", "cpu-ddr4", "cpu-hmc", "charon",
+                "charon-cpuside"}
+    if set(platforms) != expected:
+        sys.exit(f"bench smoke: BENCH_replay.json covers "
+                 f"{sorted(platforms)}, expected {sorted(expected)}")
+    broken = [name for name, row in platforms.items()
+              if not row["equivalent"] or row["speedup"] <= 0]
+    if broken:
+        sys.exit(f"bench smoke: BENCH_replay.json records bad rows "
+                 f"for {broken}")
+    print(f"bench smoke: replay-kernel report OK — " + ", ".join(
+        f"{name} {platforms[name]['speedup']:.1f}x"
+        for name in sorted(platforms)))
+
+
 def main() -> None:
+    run_replay_kernel_bench()
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))
         workloads = len(SMOKE_WORKLOADS.split(","))

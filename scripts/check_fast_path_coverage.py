@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI guard: every timing platform must take the fast replay path.
+
+Replays the bundled test traces — the TinySpark run plus the mixed
+minor/major/sweep and G1 fixture traces — on all five platforms
+through ``make_replayer`` in auto mode, then fails if
+
+* any platform silently fell back to the event-by-event replayer
+  (the ``replay.kernel_fallbacks`` metric, recorded by auto mode), or
+* any replay result reports ``replay_kernel == "event"``, or
+* a platform stopped declaring fast-path support at any of the
+  1/2/4/8 GC-thread counts the paper sweeps.
+
+This pins the support matrix: a change that quietly demotes a platform
+to event-by-event replay turns every trace sweep back into the
+bottleneck the batched kernels removed, and nothing else would notice
+— the results stay correct, just slow.  Exit status 0 on success.
+Used by the CI ``fast-path-coverage`` job; runnable locally with
+``python scripts/check_fast_path_coverage.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+PLATFORMS = ("ideal", "cpu-ddr4", "cpu-hmc", "charon",
+             "charon-cpuside")
+THREADS = (1, 2, 4, 8)
+
+
+def main() -> int:
+    from repro.gcalgo.columnar import compile_traces
+    from repro.obs.metrics import global_metrics
+    from repro.platform.base import FAST_REFUSE
+    from repro.platform.fast_replay import (FastTraceReplayer,
+                                            make_replayer)
+
+    from tests.conftest import (TinySpark, make_g1_traces,
+                                make_mixed_run, platform_for)
+
+    trace_sets = {
+        "spark-bs": TinySpark().run().traces,
+        "mixed": make_mixed_run().traces,
+        "g1": make_g1_traces(),
+    }
+    compiled_sets = {name: compile_traces(traces)
+                     for name, traces in trace_sets.items()}
+    failures = []
+    for name in PLATFORMS:
+        for threads in THREADS:
+            platform, _, _ = platform_for(name)
+            level, why = platform.fast_replay_support(threads)
+            if level == FAST_REFUSE:
+                failures.append(f"{name} x{threads}: refuses the fast "
+                                f"path ({why})")
+                continue
+            replayer = make_replayer(platform, threads=threads)
+            if not isinstance(replayer, FastTraceReplayer):
+                failures.append(f"{name} x{threads}: make_replayer fell "
+                                f"back to event-by-event replay")
+                continue
+            for set_name, compiled in compiled_sets.items():
+                result = replayer.replay_all(compiled)
+                if result.replay_kernel in ("", "event", "mixed"):
+                    failures.append(
+                        f"{name} x{threads} on {set_name}: replay "
+                        f"kernel was {result.replay_kernel!r}")
+                else:
+                    print(f"{name:15s} x{threads} {set_name:8s} -> "
+                          f"{result.replay_kernel}")
+
+    fallbacks = sum(
+        sample["value"] for sample in global_metrics().samples()
+        if sample["metric"] == "replay.kernel_fallbacks")
+    if fallbacks:
+        failures.append(f"{fallbacks:.0f} silent fallback(s) to "
+                        f"event-by-event replay were recorded")
+
+    for failure in failures:
+        print(f"fast-path coverage: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"fast-path coverage: OK — {len(PLATFORMS)} platforms x "
+              f"{len(THREADS)} thread counts x {len(trace_sets)} "
+              f"trace sets, zero event-by-event fallbacks")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

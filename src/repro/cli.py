@@ -145,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="auto: fast path where the platform "
                              "supports it; fast: require it; event: "
                              "force event-by-event replay")
+    replay.add_argument("--distributed", action="store_true",
+                        help="use the distributed (per-cube) "
+                             "TLB/bitmap-cache Charon organisation "
+                             "(its fast path is unsupported)")
 
     cache = commands.add_parser("cache", help="inspect or clear the "
                                               "content-addressed trace "
@@ -295,6 +299,8 @@ def _cmd_replay(args) -> str:
         heap_bytes = max(t.heap_bytes for t in traces) or 16 * (1 << 20)
         count = len(traces)
     config = default_config().with_heap_bytes(heap_bytes)
+    if args.distributed:
+        config = config.with_distributed_charon(True)
     heap = JavaHeap(config.heap, klasses=workload_klasses())
     platform = build_platform(args.platform, config, heap)
     replayer = make_replayer(platform, threads=args.threads,
@@ -356,12 +362,14 @@ def _cmd_report(args) -> str:
 
 def _cmd_stats(args) -> str:
     from repro.experiments.runner import workload_config
+    from repro.gcalgo.columnar import compile_traces
     from repro.heap.heap import JavaHeap
     from repro.obs.adapters import (device_metrics, hmc_metrics,
+                                    replay_kernel_metrics,
                                     timing_metrics, trace_cache_metrics)
     from repro.obs.export import metrics_csv, metrics_snapshot
     from repro.obs.metrics import MetricsRegistry
-    from repro.platform import TraceReplayer
+    from repro.platform import FastTraceReplayer, make_replayer
     from repro.workloads.base import workload_klasses
 
     heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
@@ -369,11 +377,14 @@ def _cmd_stats(args) -> str:
     config = workload_config(args.workload, heap_bytes)
     heap = JavaHeap(config.heap, klasses=workload_klasses())
     platform = build_platform(args.platform, config, heap)
-    result = TraceReplayer(platform,
-                           threads=args.threads).replay_all(run.traces)
+    replayer = make_replayer(platform, threads=args.threads)
+    feed = (compile_traces(run.traces)
+            if isinstance(replayer, FastTraceReplayer) else run.traces)
+    result = replayer.replay_all(feed)
 
     registry = MetricsRegistry()
     timing_metrics(registry, result, workload=args.workload)
+    replay_kernel_metrics(registry)
     trace_cache_metrics(registry)
     if platform.device is not None:
         device_metrics(registry, platform.device)

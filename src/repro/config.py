@@ -464,6 +464,7 @@ REPLAY_JOBS_ENV = "REPRO_JOBS"                 #: replay_grid processes
 WORKLOADS_ENV = "REPRO_WORKLOADS"              #: comma-separated subset
 TRACE_OUT_ENV = "REPRO_TRACE_OUT"              #: Chrome trace at exit
 METRICS_OUT_ENV = "REPRO_METRICS_OUT"          #: metric snapshot at exit
+REPLAY_MODE_ENV = "REPRO_REPLAY_MODE"          #: auto | fast | event
 
 REPLAY_MODES = ("auto", "fast", "event")
 
@@ -497,6 +498,7 @@ class ReplayConfig:
 def default_replay_config() -> ReplayConfig:
     """The environment-driven replay configuration."""
     config = ReplayConfig(
+        fast_path=os.environ.get(REPLAY_MODE_ENV) or "auto",
         cache_dir=os.environ.get(TRACE_CACHE_ENV) or None,
         jobs=int(os.environ.get(REPLAY_JOBS_ENV) or 1))
     config.validate()

@@ -56,6 +56,28 @@ class BoundedQueue(Generic[T]):
     def is_full(self) -> bool:
         return len(self._items) >= self.depth
 
+    def record_passthrough(self, count: int) -> None:
+        """Account ``count`` push/pop pairs without touching the deque.
+
+        The replay paths move every offload through the queue and out
+        again within one event (the blocking intrinsic admits one
+        in-flight command per GC thread per queue stage), so occupancy
+        returns to the pre-event level each time.  The batched kernels
+        use this chunk API to advance the statistics for a whole phase
+        at once; the resulting counters are identical to ``count``
+        individual ``push``/``pop`` round trips through an otherwise
+        idle queue.
+        """
+        if count < 0:
+            raise DeviceBusyError("cannot record a negative batch")
+        if count == 0:
+            return
+        self.enqueued += count
+        self.dequeued += count
+        depth_seen = len(self._items) + 1
+        if depth_seen > self.max_occupancy:
+            self.max_occupancy = depth_seen
+
 
 class CubeCommandQueues:
     """The cube-level queue plus one queue per primitive class."""
@@ -79,3 +101,13 @@ class CubeCommandQueues:
         request = self.ingress.pop()
         self.per_primitive[request.primitive].push(request)
         return request.primitive
+
+    def record_batch(self, primitive: Primitive, count: int) -> None:
+        """Advance the queue statistics for ``count`` offloads at once.
+
+        Equivalent to ``count`` repetitions of push-to-ingress, route,
+        pop-from-the-primitive-queue — the pass each blocking offload
+        makes through the cube's buffering (Fig. 5b).
+        """
+        self.ingress.record_passthrough(count)
+        self.per_primitive[primitive].record_passthrough(count)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.core.bitmap_cache import BitmapCacheComplex
+from repro.core.command_queue import CubeCommandQueues
 from repro.core.mai import MemoryAccessInterface
 from repro.core.tlb import TLBComplex
 from repro.core.units import (BitmapCountUnit, CharonContext, CopySearchUnit,
@@ -108,6 +109,9 @@ class CharonDevice:
                 ScanPushUnit(next_id + i, central, self.context)
                 for i in range(max(1, config.charon.scan_push_units))]
         self.central = central
+        self.queues = [CubeCommandQueues(cube,
+                                         config.charon.command_queue_depth)
+                       for cube in range(cubes)]
         self.heap_info: Optional[HeapInfo] = None
         self.offloads = 0
         self.request_bytes_sent = 0
@@ -200,6 +204,7 @@ class CharonDevice:
             raise ConfigError(f"unknown primitive {event.primitive}")
 
         self.offloads += 1
+        self.queues[cube].record_batch(event.primitive, 1)
         return self._send_response(done, cube, has_value)
 
     def _send_request(self, now: float, cube: int) -> float:
@@ -228,6 +233,28 @@ class CharonDevice:
             finish += link.tally(size) + link.latency
         return finish + self.hmc.host_link.tally(size) \
             + self.hmc.host_link.latency
+
+    # -- batched state advancement ------------------------------------------------
+
+    def record_offload_batch(self, cube: int, primitive: Primitive,
+                             count: int, has_value: bool) -> None:
+        """Account ``count`` offloads routed to one cube in bulk.
+
+        The batched replay kernel advances the order-independent device
+        counters (offload tally, packet byte totals, command-queue
+        statistics) for a whole phase chunk at once; the order-dependent
+        unit and link timing state is advanced separately, event by
+        event, in its stage-2 loop.
+        """
+        if count <= 0:
+            return
+        self.offloads += count
+        self.request_bytes_sent += \
+            self.config.charon.request_packet_bytes * count
+        size = (self.config.charon.response_packet_bytes if has_value
+                else self.config.charon.response_packet_bytes_noval)
+        self.response_bytes_sent += size * count
+        self.queues[cube].record_batch(primitive, count)
 
     # -- phase hooks -----------------------------------------------------------------
 

@@ -23,7 +23,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
-                          scaled_heap_bytes)
+                          default_replay_config, scaled_heap_bytes)
 from repro.errors import OutOfMemoryError
 from repro.experiments import trace_cache
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
@@ -137,12 +137,17 @@ def replay_platform(platform_name: str, name: str,
     """
     run = collect_run(name, heap_bytes)
     resolved_config = config or workload_config(name, heap_bytes)
-    key = _replay_key(platform_name, name, resolved_config, threads)
+    # REPRO_REPLAY_MODE pins the replayer for the whole pipeline:
+    # "fast" turns silent fallbacks into hard errors (the CI coverage
+    # check), "event" forces the golden path for A/B comparison.
+    mode = default_replay_config().fast_path
+    key = _replay_key(platform_name, name, resolved_config, threads) \
+        + (mode,)
     if key not in _REPLAY_CACHE:
         heap = JavaHeap(resolved_config.heap,
                         klasses=workload_klasses())
         platform = build_platform(platform_name, resolved_config, heap)
-        replayer = make_replayer(platform, threads=threads)
+        replayer = make_replayer(platform, threads=threads, mode=mode)
         if isinstance(replayer, FastTraceReplayer):
             traces: Iterable = compiled_run_traces(name, heap_bytes)
         else:

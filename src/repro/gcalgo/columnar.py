@@ -97,6 +97,8 @@ class CompiledTrace:
             setattr(self, name, int(stats.pop(name, 0)))
         if stats:
             raise ConfigError(f"unknown trace stats {sorted(stats)}")
+        self._derived: Optional[Dict[str, np.ndarray]] = None
+        self._phase_runs: Optional[List[Tuple[str, int, int]]] = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -108,15 +110,57 @@ class CompiledTrace:
 
         Returns ``(phase_name, start, stop)`` triples covering
         ``events[start:stop]``, in order — the same segmentation the
-        event-by-event replayer derives from the object stream.
+        event-by-event replayer derives from the object stream.  Pure
+        in the events, so the segmentation is computed once and
+        memoized (callers must not mutate the returned list).
         """
-        ids = self.events["phase"]
-        if len(ids) == 0:
-            return []
-        cuts = (np.flatnonzero(ids[1:] != ids[:-1]) + 1).tolist()
-        bounds = [0] + cuts + [len(ids)]
-        return [(self.phase_names[int(ids[lo])], lo, hi)
-                for lo, hi in zip(bounds[:-1], bounds[1:])]
+        runs = self._phase_runs
+        if runs is None:
+            ids = self.events["phase"]
+            if len(ids) == 0:
+                runs = []
+            else:
+                cuts = (np.flatnonzero(ids[1:] != ids[:-1]) + 1).tolist()
+                bounds = [0] + cuts + [len(ids)]
+                runs = [(self.phase_names[int(ids[lo])], lo, hi)
+                        for lo, hi in zip(bounds[:-1], bounds[1:])]
+            self._phase_runs = runs
+        return runs
+
+    def derived_columns(self) -> Dict[str, np.ndarray]:
+        """Config-independent per-event columns the replay kernels share.
+
+        Everything here is a pure function of the recorded events, so it
+        is computed once per compiled trace and memoized (the trace
+        cache hands the same ``CompiledTrace`` to every platform's
+        replayer).  Platform-dependent quantities (service times, cache
+        models, energy) stay in the kernels.
+        """
+        derived = self._derived
+        if derived is None:
+            ev = self.events
+            prim = ev["prim"]
+            size = ev["size_bytes"]
+            found = ev["found"] != 0
+            cached = ev["bits_cached"]
+            derived = {
+                "is_copy": prim == PRIMITIVE_TYPE_CODES[Primitive.COPY],
+                "is_search": prim == PRIMITIVE_TYPE_CODES[Primitive.SEARCH],
+                "is_scan": prim == PRIMITIVE_TYPE_CODES[Primitive.SCAN_PUSH],
+                "is_bitmap":
+                    prim == PRIMITIVE_TYPE_CODES[Primitive.BITMAP_COUNT],
+                "found": found,
+                # Bytes a search examines before clamping: half the range
+                # on a hit, the full range on a miss (host and device
+                # models clamp to different minima).
+                "search_examined": np.where(found, size // 2, size),
+                # Bitmap bits with the software-cache shortcut applied
+                # (NO_BITS_CACHED means the count really ran).
+                "eff_bits": np.where(cached == NO_BITS_CACHED,
+                                     ev["bits"], cached),
+            }
+            self._derived = derived
+        return derived
 
     # -- conversion --------------------------------------------------------
 

@@ -58,6 +58,30 @@ def hmc_metrics(registry: MetricsRegistry, hmc: "HMCSystem") -> None:
         scope.gauge(name, "HMC traffic counter").set(float(value))
 
 
+def replay_kernel_metrics(registry: MetricsRegistry) -> None:
+    """Mirror the process-wide ``replay.kernel*`` rows into ``registry``.
+
+    The replayers record which kernel ran (event, closed-form, or a
+    batched kernel), its throughput, and any auto-mode fallbacks into
+    the *global* registry; this copies those rows into a per-command
+    snapshot so ``repro stats`` always shows which replay path
+    produced its numbers.
+    """
+    from repro.obs.metrics import global_metrics
+
+    for sample in global_metrics().samples():
+        name = sample["metric"]
+        if not name.startswith("replay.kernel"):
+            continue
+        labels = sample["labels"]
+        if sample["kind"] == "counter":
+            registry.counter(name, "mirrored replay-kernel counter",
+                             **labels).add(sample["value"])
+        elif sample["kind"] == "gauge":
+            registry.gauge(name, "mirrored replay-kernel gauge",
+                           **labels).set(sample["value"])
+
+
 def timing_metrics(registry: MetricsRegistry, result: "GCTimingResult",
                    workload: str) -> None:
     """Record one replay result as labeled ``replay.*`` metrics."""

@@ -18,6 +18,21 @@ from repro.platform.host_costs import HostCostModel
 from repro.platform.ports import DDR4Port, HMCHostPort
 
 
+#: Fast-replay support levels (the three-way answer of
+#: :meth:`Platform.fast_replay_support`):
+#:
+#: * ``closed-form`` — every event's duration is a pure function of the
+#:   event; the whole trace vectorizes in numpy with no replay state.
+#: * ``batched-stateful`` — durations depend on shared state (FIFO
+#:   horizons, caches, unit queues), but all *pure* per-event work can
+#:   be precomputed in bulk, leaving only the order-dependent recurrence
+#:   to a tight stage-2 loop (see :mod:`repro.platform.batched`).
+#: * ``refuse`` — no equivalent kernel exists; replay event by event.
+FAST_CLOSED_FORM = "closed-form"
+FAST_BATCHED = "batched-stateful"
+FAST_REFUSE = "refuse"
+
+
 class Platform:
     """Common machinery: host processor, memory port, cost model."""
 
@@ -51,22 +66,21 @@ class Platform:
 
     # -- fast-path eligibility ----------------------------------------------
 
-    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
-        """Can the vectorized fast path reproduce this platform exactly?
+    def fast_replay_support(self, threads: int) -> Tuple[str, str]:
+        """How may the fast path reproduce this platform exactly?
 
-        The fast path (:mod:`repro.platform.fast_replay`) batches
-        per-event costs in numpy, which is only *equivalent* to the
-        event-by-event replay when an event's duration is a pure
-        function of the event — i.e. when no stateful shared resource
-        (FIFO bandwidth horizons, the bitmap cache, per-cube unit
-        queues) couples one event's cost to another's.  Each platform
-        declares its own eligibility for a given effective GC thread
-        count; the default is a refusal.
-
-        Returns ``(supported, reason)``.
+        Returns ``(level, reason)`` where ``level`` is one of
+        :data:`FAST_CLOSED_FORM` (per-event costs are pure functions of
+        the event; batch everything in numpy), :data:`FAST_BATCHED`
+        (costs are order-dependent through shared state, but a two-stage
+        kernel — numpy precompute plus a tight stateful recurrence loop
+        — is exactly equivalent), or :data:`FAST_REFUSE` (no equivalent
+        kernel; replay event by event).  Each platform declares its own
+        eligibility for a given effective GC thread count; the default
+        is a refusal.
         """
-        return (False, "event costs depend on stateful shared "
-                       "resources and must replay in order")
+        return (FAST_REFUSE,
+                "no batched kernel models this platform's event costs")
 
     # -- accounting ---------------------------------------------------------
 
@@ -107,21 +121,25 @@ class CpuDDR4Platform(Platform):
         super().__init__(config, DDR4Port(ddr4))
         self.ddr4 = ddr4
 
-    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
-        """Single-threaded DDR4 replay is exactly batchable.
+    def fast_replay_support(self, threads: int) -> Tuple[str, str]:
+        """DDR4 replay always batches; one thread even closes the form.
 
         With one GC thread the thread's clock is always >= every
         channel-FIFO horizon it has reserved (each event finishes no
         earlier than its own bandwidth reservation), so ``max(now,
         busy_until)`` degenerates to ``now`` and every event's duration
         becomes a closed-form function of the event alone.  Two or more
-        threads genuinely contend on the channel FIFOs — their events
-        queue behind each other — and must replay in order.
+        threads genuinely contend on the channel FIFOs, but the only
+        order-dependent quantities are the two channels' bulk/priority
+        horizons and the thread clocks — the batched kernel precomputes
+        everything else and runs just that recurrence.
         """
         if threads == 1:
-            return True, "one GC thread never queues on the channel FIFOs"
-        return (False, "channel-FIFO bandwidth contention couples "
-                       "events across GC threads")
+            return (FAST_CLOSED_FORM,
+                    "one GC thread never queues on the channel FIFOs")
+        return (FAST_BATCHED,
+                "channel-FIFO contention couples events across GC "
+                "threads; only the horizon recurrence replays in order")
 
 
 class CpuHMCPlatform(Platform):
@@ -136,13 +154,17 @@ class CpuHMCPlatform(Platform):
         self.hmc = hmc
         self.vm = vm
 
-    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+    def fast_replay_support(self, threads: int) -> Tuple[str, str]:
         # One event's range splits into per-cube runs that queue behind
         # each other on the shared serial-link FIFOs (and anonymous
         # residual traffic round-robins a cube cursor), so costs are
-        # order-dependent even with a single GC thread.
-        return (False, "per-cube range routing shares serial-link "
-                       "FIFOs; replay is order-dependent")
+        # order-dependent even with a single GC thread.  The stateful
+        # part is just the link/TSV horizons and the anon cursor; the
+        # per-cube routing, service times and latency bounds are pure
+        # and precompute in bulk.
+        return (FAST_BATCHED,
+                "per-cube range routing shares serial-link FIFOs; the "
+                "horizon recurrence replays in order, the rest batches")
 
 
 class CharonPlatform(Platform):
@@ -181,9 +203,20 @@ class CharonPlatform(Platform):
     def phase_end(self, phase: str) -> None:
         self.device.phase_completed(phase)
 
-    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
-        return (False, "bitmap-cache, MAI and command-queue state make "
-                       "offload costs order-dependent")
+    def fast_replay_support(self, threads: int) -> Tuple[str, str]:
+        if self.config.charon.distributed and not self.cpu_side:
+            # The distributed organisation resolves every translation
+            # and bitmap access against per-cube TLB/cache slices whose
+            # port horizons interleave with the lookup fan-out; the
+            # batched kernel models only the (default) unified
+            # structures.
+            return (FAST_REFUSE,
+                    "distributed TLB/bitmap-cache slices are not "
+                    "modelled by the batched kernel")
+        return (FAST_BATCHED,
+                "unit, link and bitmap-cache state make offload costs "
+                "order-dependent; routing, packet and stream maths "
+                "precompute in bulk")
 
 
 class IdealPlatform(Platform):
@@ -203,7 +236,7 @@ class IdealPlatform(Platform):
                        gc_kind: str) -> float:
         return now
 
-    def fast_replay_support(self, threads: int) -> Tuple[bool, str]:
+    def fast_replay_support(self, threads: int) -> Tuple[str, str]:
         # Zero-cost offloads touch no memory resource at all, so the
         # batched path is exact for any thread count.
-        return True, "offloaded primitives are zero-cost"
+        return FAST_CLOSED_FORM, "offloaded primitives are zero-cost"

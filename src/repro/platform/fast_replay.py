@@ -4,34 +4,31 @@ The event-by-event :class:`~repro.platform.replay.TraceReplayer` walks
 every :class:`~repro.gcalgo.trace.TraceEvent` through Python attribute
 dispatch; for large traces the *timing layer* dominates experiment
 runtime.  :class:`FastTraceReplayer` costs a whole
-:class:`~repro.gcalgo.columnar.CompiledTrace` in a handful of numpy
-array operations instead.
+:class:`~repro.gcalgo.columnar.CompiledTrace` through one of two kernel
+families instead, selected by the platform's own eligibility answer
+(:meth:`~repro.platform.base.Platform.fast_replay_support`):
 
-The fast path is only offered where it is provably *equivalent* to the
-event-by-event replay — each platform declares its own eligibility via
-:meth:`~repro.platform.base.Platform.fast_replay_support`:
-
-* ``ideal`` — offloaded primitives are zero-cost and touch no memory
-  resource, so batching is exact for any thread count;
-* ``cpu-ddr4`` with one GC thread — a single thread's clock is always
-  at or past every channel-FIFO horizon it reserved (each event
-  finishes no earlier than its own bandwidth reservation), so
-  ``max(now, busy_until)`` degenerates to ``now`` and each event's
-  duration is a closed-form function of the event alone;
-* everything else (multi-threaded DDR4, ``cpu-hmc``, the Charon
-  platforms) refuses: FIFO contention, per-cube routing, the bitmap
-  cache and command queues make costs order-dependent.
-
-:func:`make_replayer` selects automatically: the fast path where
-supported, the event-by-event replayer otherwise.
+* **closed-form** (``ideal``; ``cpu-ddr4`` with one GC thread) — every
+  event's duration is a pure function of the event, so the whole trace
+  prices in a handful of numpy array operations;
+* **batched-stateful** (multi-threaded ``cpu-ddr4``, ``cpu-hmc``,
+  ``charon``, ``charon-cpuside``) — costs are order-dependent through
+  shared state, so a two-stage kernel from
+  :mod:`repro.platform.batched` precomputes all pure per-event work in
+  bulk and replays only the stateful recurrence (thread clocks, FIFO
+  horizons, unit queues, bitmap-cache tags) in a tight loop;
+* **refuse** (the base platform; ``charon --distributed``) — no
+  equivalent kernel exists and :class:`FastReplayUnsupported` is
+  raised; :func:`make_replayer` falls back to event-by-event replay in
+  ``auto`` mode.
 
 Equivalence contract (what the golden tests in
 ``tests/test_fast_replay_equivalence.py`` assert): integer counters
 (DRAM/link/TSV bytes, bitmap-cache hits/accesses) are *exactly* equal —
 they are pure integer functions of the events — while float quantities
 (wall, per-primitive seconds, energy) agree to 1e-9 relative tolerance,
-absorbing the summation-order difference between a sequential clock
-chain and a batched reduction (~n·eps).
+absorbing the summation-order difference between per-event and bulk
+accounting (~n*eps).
 """
 
 from __future__ import annotations
@@ -40,24 +37,25 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError
 from repro.gcalgo.columnar import (CODE_TO_PRIMITIVE, CompiledTrace,
-                                   NO_BITS_CACHED, compile_trace)
-from repro.gcalgo.trace import GCTrace, Primitive, PRIMITIVE_TYPE_CODES
+                                   compile_trace)
+from repro.gcalgo.trace import GCTrace, Primitive
 from repro.obs.tracer import get_tracer
-from repro.platform.base import Platform
-from repro.platform.replay import TraceReplayer
+from repro.platform.base import (FAST_BATCHED, FAST_CLOSED_FORM,
+                                 FAST_REFUSE, Platform)
+from repro.platform.batched import (FastReplayUnsupported,
+                                    batched_kernel_for,
+                                    host_event_columns)
+from repro.platform.replay import TraceReplayer, perf_counter
 from repro.platform.timing import GCTimingResult
-from repro.units import CACHE_LINE
 
-
-class FastReplayUnsupported(ReproError):
-    """The platform's event costs cannot be batched (its
-    :meth:`~repro.platform.base.Platform.fast_replay_support` refused)."""
+__all__ = ["FastReplayUnsupported", "FastTraceReplayer",
+           "make_replayer"]
 
 
 class FastTraceReplayer(TraceReplayer):
-    """Batched replay for platforms whose event costs are stateless.
+    """Batched replay for platforms that declare an equivalent kernel.
 
     Accepts :class:`GCTrace` or :class:`CompiledTrace` inputs (objects
     are compiled on the fly; feed compiled traces to skip that cost).
@@ -71,16 +69,110 @@ class FastTraceReplayer(TraceReplayer):
     def __init__(self, platform: Platform,
                  threads: Optional[int] = None) -> None:
         super().__init__(platform, threads=threads)
-        supported, why = platform.fast_replay_support(self.threads)
-        if not supported:
+        level, why = platform.fast_replay_support(self.threads)
+        if level == FAST_REFUSE:
             raise FastReplayUnsupported(f"{platform.name}: {why}")
-        self._kernel = _kernel_for(platform)
+        if level == FAST_CLOSED_FORM:
+            self._kernel = _kernel_for(platform)
+            self._batched = None
+            self.kernel_name = "closed-form"
+        elif level == FAST_BATCHED:
+            self._kernel = None
+            self._batched = batched_kernel_for(platform, self.threads)
+            self.kernel_name = self._batched.name
+        else:  # pragma: no cover - platforms only return the three
+            raise ConfigError(f"unknown fast-replay level {level!r}")
 
     def replay(self, trace: Union[GCTrace, CompiledTrace]
                ) -> GCTimingResult:
         compiled = (trace if isinstance(trace, CompiledTrace)
                     else compile_trace(trace))
+        if self._batched is not None:
+            return self._replay_batched(compiled)
+        return self._replay_closed_form(compiled)
+
+    # -- batched-stateful path ---------------------------------------------
+
+    def _replay_batched(self, compiled: CompiledTrace) -> GCTimingResult:
         platform = self.platform
+        kernel = self._batched
+        started = perf_counter()
+        chunks_before = kernel.chunks_processed
+        obs = get_tracer()
+        if not obs.enabled:
+            obs = None
+        gc_start = self.clock
+        work_start = platform.begin_gc(gc_start)
+        flush_seconds = work_start - gc_start
+        if obs is not None and flush_seconds > 0.0:
+            obs.add_span("llc-flush", gc_start, flush_seconds,
+                         cat="phase", args={"platform": platform.name})
+
+        primitive_seconds: Dict[Primitive, float] = {}
+        residual_seconds = 0.0
+        host_busy = flush_seconds
+        before = self._snapshot()
+        # Stage 1: plans and bulk accounting for the whole trace (after
+        # the snapshot so counter deltas attribute to this GC).
+        kernel.begin(compiled)
+
+        now = work_start
+        runs = compiled.phase_runs()
+        for name, lo, hi in runs:
+            phase_start = now
+            barrier, busy = kernel.run_phase(lo, hi, now,
+                                             primitive_seconds)
+            host_busy += busy
+            now = barrier
+            work = compiled.residuals.get(name)
+            if work is not None:
+                share = platform.cost_model.residual_seconds(
+                    now, work, self._residual_threads)
+                residual_seconds += share * self._residual_threads
+                host_busy += share * self._residual_threads
+                now += share
+            platform.phase_end(name)
+            if obs is not None:
+                obs.add_span(name, phase_start, now - phase_start,
+                             cat="phase", args={"gc": compiled.kind,
+                                                "events": hi - lo})
+
+        # Residual-only phases that had no events (e.g. summary), in
+        # the trace's insertion order — same as the event-by-event path.
+        seen = {name for name, _, _ in runs}
+        for name, work in compiled.residuals.items():
+            if name in seen:
+                continue
+            share = platform.cost_model.residual_seconds(
+                now, work, self._residual_threads)
+            residual_seconds += share * self._residual_threads
+            host_busy += share * self._residual_threads
+            if obs is not None:
+                obs.add_span(name, now, share, cat="phase",
+                             args={"gc": compiled.kind, "events": 0})
+            now += share
+            platform.phase_end(name)
+
+        if obs is not None:
+            obs.add_span(f"{compiled.kind} gc", gc_start, now - gc_start,
+                         cat="gc",
+                         args={"platform": platform.name,
+                               "events": len(compiled.events)})
+        self.clock = now
+        result = self._package(compiled.kind, gc_start, now,
+                               flush_seconds, primitive_seconds,
+                               residual_seconds, host_busy, before)
+        self._note_replay(len(compiled.events),
+                          perf_counter() - started,
+                          chunks=kernel.chunks_processed - chunks_before)
+        return result
+
+    # -- closed-form path ----------------------------------------------------
+
+    def _replay_closed_form(self, compiled: CompiledTrace
+                            ) -> GCTimingResult:
+        platform = self.platform
+        started = perf_counter()
         # Single enabled check per GC; the vectorized hot path below
         # only pays an ``is None`` test per *phase*, not per event.
         obs = get_tracer()
@@ -152,9 +244,12 @@ class FastTraceReplayer(TraceReplayer):
                          args={"platform": platform.name,
                                "events": len(compiled.events)})
         self.clock = now
-        return self._package(compiled.kind, gc_start, now, flush_seconds,
-                             primitive_seconds, residual_seconds,
-                             host_busy, before)
+        result = self._package(compiled.kind, gc_start, now,
+                               flush_seconds, primitive_seconds,
+                               residual_seconds, host_busy, before)
+        self._note_replay(len(compiled.events),
+                          perf_counter() - started)
+        return result
 
 
 def make_replayer(platform: Platform, threads: Optional[int] = None,
@@ -176,20 +271,29 @@ def make_replayer(platform: Platform, threads: Optional[int] = None,
     except FastReplayUnsupported:
         if mode == "fast":
             raise
+        # Auto-mode fallbacks are recorded so a silently event-by-event
+        # experiment is visible in `repro stats` (and fails the CI
+        # fast-path-coverage check when it should not happen).
+        from repro.obs.metrics import global_metrics
+        global_metrics().scope("replay").counter(
+            "kernel_fallbacks",
+            "auto-mode fallbacks to event-by-event replay",
+            platform=platform.name).add(1)
         return TraceReplayer(platform, threads=threads)
 
 
-# -- kernels ---------------------------------------------------------------
+# -- closed-form kernels ----------------------------------------------------
 
 def _kernel_for(platform: Platform):
     if platform.name == "ideal":
         return _ZeroKernel()
     if platform.name == "cpu-ddr4":
         return _DDR4Kernel(platform)
-    # A platform that newly claims support must also get a kernel here;
-    # fail loudly rather than misprice its events.
+    # A platform that newly claims closed-form support must also get a
+    # kernel here; fail loudly rather than misprice its events.
     raise FastReplayUnsupported(
-        f"{platform.name}: no vectorized kernel implements this platform")
+        f"{platform.name}: no closed-form kernel implements this "
+        f"platform")
 
 
 class _ZeroKernel:
@@ -229,70 +333,13 @@ class _DDR4Kernel:
         channel = ddr4.channels[0]
         self.ch_rate = channel.rate
         self.ch_latency = channel.latency  # == ResourcePath.latency here
-        self.epb = channel.energy_per_byte
         self.ipc_hz = core.config.gc_ipc * core.config.freq_hz
         self.hit_lat = costs.cache_hit_latency_s
         self.ch_mlp = max(1.0, core.mlp / self.n_ch)
 
     def charge(self, compiled: CompiledTrace) -> np.ndarray:
-        costs = self.costs
-        ev = compiled.events
-        prim = ev["prim"]
-        n = len(ev)
-        instr = np.zeros(n, dtype=np.float64)
-        touched = np.zeros(n, dtype=np.int64)
-        hitf = np.zeros(n, dtype=np.float64)
-        dep = np.ones(n, dtype=np.float64)
-
-        copy = prim == PRIMITIVE_TYPE_CODES[Primitive.COPY]
-        search = prim == PRIMITIVE_TYPE_CODES[Primitive.SEARCH]
-        scan = prim == PRIMITIVE_TYPE_CODES[Primitive.SCAN_PUSH]
-        bitmap = prim == PRIMITIVE_TYPE_CODES[Primitive.BITMAP_COUNT]
-        known = int(copy.sum() + search.sum() + scan.sum() + bitmap.sum())
-        if known != n:
-            raise ConfigError("trace contains primitive codes the DDR4 "
-                              "kernel does not price")
-
-        if copy.any():
-            size = ev["size_bytes"][copy]
-            instr[copy] = size * costs.copy_instructions_per_byte \
-                + costs.copy_object_overhead_instructions
-            touched[copy] = 2 * size
-            hitf[copy] = costs.copy_hit_fraction
-            dep[copy] = 2.0
-        if search.any():
-            size = ev["size_bytes"][search]
-            found = ev["found"][search].astype(bool)
-            examined = np.maximum(1, np.where(found, size // 2, size))
-            instr[search] = examined * costs.search_instructions_per_card
-            touched[search] = examined
-            hitf[search] = costs.search_hit_fraction
-        if scan.any():
-            refs = np.maximum(1, ev["refs"][scan])
-            instr[scan] = refs * costs.scan_push_instructions_per_ref
-            touched[scan] = refs * CACHE_LINE
-            try:
-                mark_id = compiled.phase_names.index("mark")
-            except ValueError:
-                marking = np.zeros(int(scan.sum()), dtype=bool)
-            else:
-                marking = ev["phase"][scan] == mark_id
-            hitf[scan] = np.where(marking, costs.scan_push_hit_major,
-                                  costs.scan_push_hit_minor)
-            dep[scan] = np.where(marking, 2.0, 1.0)
-        if bitmap.any():
-            bits = ev["bits"][bitmap]
-            cached = ev["bits_cached"][bitmap]
-            b = np.maximum(1, np.where(cached == NO_BITS_CACHED,
-                                       bits, cached))
-            instr[bitmap] = 12.0 + b * costs.bitmap_instructions_per_bit
-            touched[bitmap] = 2 * (b // 8 + 1)
-            hitf[bitmap] = costs.bitmap_hit_fraction
-
-        touched_f = touched.astype(np.float64)
-        miss = (touched_f * (1.0 - hitf)).astype(np.int64)
-        hits = touched_f / CACHE_LINE * hitf
-        compute = instr / self.ipc_hz + hits * self.hit_lat / 4.0
+        compute, miss, dep, _priority = host_event_columns(
+            compiled, self.costs, self.ipc_hz, self.hit_lat)
 
         # DDR4System.stream: each channel serves round(miss / channels)
         # bytes; int(round()) is round-half-to-even, i.e. np.rint.
@@ -300,7 +347,7 @@ class _DDR4Kernel:
         r = np.rint(share)
         r_i = r.astype(np.int64)
         service = r / self.ch_rate
-        n_req = np.ceil(r / CACHE_LINE)
+        n_req = np.ceil(r / 64)
         lat_rel = self.ch_latency * dep \
             + (n_req - 1.0) * (self.ch_latency / self.ch_mlp)
         mem_rel = np.where(r_i > 0, np.maximum(service, lat_rel),
@@ -313,14 +360,8 @@ class _DDR4Kernel:
         # positive rounded share (a zero share returns before reserving).
         served = r_i > 0
         if served.any():
-            r_served = r_i[served]
-            total_bytes = int(r_served.sum())
-            busy = float(service[served].sum())
-            energy = float((r_served * self.epb).sum())
+            total_bytes = int(r_i[served].sum())
             requests = int(served.sum())
             for channel in self.channels:
-                channel.bytes_served += total_bytes
-                channel.busy_time += busy
-                channel.energy_joules += energy
-                channel.requests += requests
+                channel.account_bulk(total_bytes, requests)
         return durations

@@ -100,18 +100,33 @@ class HMCHostPort:
                 dependent_batches=dependent_batches, priority=priority))
         return finish
 
+    def take_anon_cube(self) -> int:
+        """Claim the next cube of the anonymous round-robin cursor.
+
+        The cursor is *shared state*: residual phase work and faulting
+        range streams both advance it, in call order.  The batched
+        replay kernels go through this same method so their interleaving
+        with the scalar residual path leaves the cursor exactly where
+        event-by-event replay would.
+        """
+        cube = self._anon_cube
+        self._anon_cube = (self._anon_cube + 1) % self.hmc.config.cubes
+        return cube
+
+    def anon_share(self, nbytes: int) -> int:
+        """Per-cube piece size of an anonymous ``nbytes`` stream."""
+        return max(CACHE_LINE, nbytes // self.hmc.config.cubes)
+
     def stream_anon(self, now: float, nbytes: int, chunk: int,
                     mlp: float, priority: bool = True) -> float:
         """Traffic with no recorded address: spread cubes round-robin."""
         if nbytes <= 0:
             return now
-        cubes = self.hmc.config.cubes
-        share = max(CACHE_LINE, nbytes // cubes)
+        share = self.anon_share(nbytes)
         finish = now
         remaining = nbytes
         while remaining > 0:
-            cube = self._anon_cube
-            self._anon_cube = (self._anon_cube + 1) % cubes
+            cube = self.take_anon_cube()
             piece = min(share, remaining)
             finish = max(finish, self.hmc.host_stream(
                 now, cube, piece, chunk_bytes=chunk, mlp=mlp,

@@ -14,6 +14,7 @@ describes.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Dict, Iterable, List, Tuple
 
 from repro.gcalgo.trace import GCTrace, Primitive, TraceEvent
@@ -24,6 +25,11 @@ from repro.platform.timing import GCTimingResult, PlatformEnergy
 
 class TraceReplayer:
     """Replays successive GC traces on one platform instance."""
+
+    #: Which replay kernel this replayer drives; the fast path
+    #: overrides it ("closed-form" or a batched kernel name) and every
+    #: result carries it as ``replay_kernel``.
+    kernel_name = "event"
 
     def __init__(self, platform: Platform, threads: int = None) -> None:
         self.platform = platform
@@ -46,6 +52,7 @@ class TraceReplayer:
     def replay(self, trace: GCTrace) -> GCTimingResult:
         """Replay one GC trace; returns its timing result."""
         platform = self.platform
+        started = perf_counter()
         # One enabled check per GC keeps the disabled path at a single
         # attribute read; ``obs is None`` guards every span below.
         obs = get_tracer()
@@ -132,9 +139,11 @@ class TraceReplayer:
                          args={"platform": platform.name,
                                "events": len(trace.events)})
         self.clock = now
-        return self._package(trace.kind, gc_start, now, flush_seconds,
-                             primitive_seconds, residual_seconds,
-                             host_busy, before)
+        result = self._package(trace.kind, gc_start, now, flush_seconds,
+                               primitive_seconds, residual_seconds,
+                               host_busy, before)
+        self._note_replay(len(trace.events), perf_counter() - started)
+        return result
 
     def replay_all(self, traces: Iterable[GCTrace]) -> GCTimingResult:
         """Replay a run's GC events back to back; returns the combined
@@ -143,6 +152,34 @@ class TraceReplayer:
         return GCTimingResult.combine(results)
 
     # -- internals -----------------------------------------------------------
+
+    def _note_replay(self, events: int, elapsed: float,
+                     chunks: int = 0) -> None:
+        """Record which kernel replayed how much, and how fast.
+
+        Feeds the ``replay.kernel_*`` metrics ``repro stats`` reports,
+        so a run always shows whether the fast path actually ran (and
+        the CI fast-path-coverage check can fail on silent fallbacks).
+        """
+        from repro.obs.metrics import global_metrics
+
+        scope = global_metrics().scope("replay")
+        labels = {"kernel": self.kernel_name,
+                  "platform": self.platform.name}
+        scope.counter("kernel_events",
+                      "events replayed through this kernel",
+                      **labels).add(events)
+        scope.counter("kernel_seconds",
+                      "host wall-clock seconds spent replaying",
+                      **labels).add(elapsed)
+        if chunks:
+            scope.counter("kernel_chunks",
+                          "stage-2 chunks the batched kernels consumed",
+                          **labels).add(chunks)
+        if elapsed > 0:
+            scope.gauge("kernel_events_per_sec",
+                        "replay throughput of the last GC",
+                        **labels).set(events / elapsed)
 
     def _snapshot(self) -> Tuple:
         """Platform counter snapshot taken at GC start."""
@@ -189,6 +226,7 @@ class TraceReplayer:
         result.energy = self._energy(
             wall, host_busy, energy_after - energy_before,
             platform.charon_busy_seconds() - charon_busy_before)
+        result.replay_kernel = self.kernel_name
         return result
 
     @staticmethod

@@ -41,6 +41,9 @@ class GCTimingResult:
     bitmap_cache_hits: int = 0
     bitmap_cache_accesses: int = 0
     energy: PlatformEnergy = field(default_factory=PlatformEnergy)
+    #: which replay kernel produced this result ("event",
+    #: "closed-form", a batched kernel name, or "mixed" after combine).
+    replay_kernel: str = ""
 
     @property
     def bitmap_cache_hit_rate(self) -> Optional[float]:
@@ -98,4 +101,7 @@ class GCTimingResult:
                                          for r in results)
         combined.bitmap_cache_accesses = sum(r.bitmap_cache_accesses
                                              for r in results)
+        kernels = {r.replay_kernel for r in results}
+        combined.replay_kernel = (first.replay_kernel
+                                  if len(kernels) == 1 else "mixed")
         return combined

@@ -103,6 +103,26 @@ class FluidResource:
         self.energy_joules += nbytes * self.energy_per_byte
         self.requests += 1
 
+    def account_bulk(self, nbytes: int, requests: int) -> None:
+        """Apply the accounting of ``requests`` reservations at once.
+
+        The batched replay kernels precompute, per resource, the total
+        byte volume and reservation count of a whole compiled trace and
+        apply it in one call instead of per event.  Byte and request
+        counters are integers, so the bulk update is *exactly* what the
+        per-event path would have accumulated; busy time and energy are
+        linear in the bytes, so they agree up to float summation order
+        (within the fast path's 1e-9 equivalence contract).  The FIFO
+        horizons are untouched — they are order-dependent and stay with
+        the caller.
+        """
+        if nbytes < 0 or requests < 0:
+            raise SimulationError("bulk accounting must be non-negative")
+        self.bytes_served += nbytes
+        self.busy_time += nbytes / self.rate
+        self.energy_joules += nbytes * self.energy_per_byte
+        self.requests += requests
+
     def earliest_start(self, now: float) -> float:
         """When a request arriving at ``now`` would begin service."""
         return max(now, self.busy_until)

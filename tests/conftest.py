@@ -129,3 +129,35 @@ def make_mixed_run(run_name: str = "mixed"):
 @pytest.fixture(scope="session")
 def mixed_run():
     return make_mixed_run()
+
+
+def make_g1_traces():
+    """Two G1 collections over a linked-record heap.
+
+    Shared between the fast-path equivalence tests and the CI
+    fast-path-coverage script, so both exercise the same ``g1``-kind
+    traces (mark + evacuate phases, SCAN_PUSH marking and COPY
+    evacuation events).
+    """
+    from repro.gcalgo.g1 import G1Collector
+
+    heap = make_heap()
+    g1 = G1Collector(heap, region_bytes=64 * 1024)
+    previous = 0
+    for index in range(2500):
+        view = g1.allocate("Record")
+        heap.set_field(view, 0, previous)
+        previous = view.addr
+        if index % 300 == 0:
+            heap.roots.append(previous)
+            previous = 0
+        if index % 2 == 0:
+            g1.allocate("typeArray", 320)
+    g1.collect()
+    g1.collect()
+    return g1.traces
+
+
+@pytest.fixture(scope="session")
+def g1_traces_session():
+    return make_g1_traces()

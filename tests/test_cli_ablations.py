@@ -81,6 +81,28 @@ class TestCli:
         assert "replayed" in out
         assert "ms" in out
 
+    def test_replay_fast_mode_unsupported_exits_2(self, tmp_path,
+                                                  capsys):
+        """Forcing --mode fast on a configuration with no batched
+        kernel (distributed charon) reports to stderr and exits 2."""
+        path = tmp_path / "als.gctrace.json"
+        assert main(["trace", "graphchi-als", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["replay", str(path), "--platform", "charon",
+                     "--distributed", "--mode", "fast"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "fast replay unsupported:" in captured.err
+        assert "distributed" in captured.err
+
+    def test_replay_fast_mode_supported(self, tmp_path, capsys):
+        path = tmp_path / "als.gctrace.json"
+        assert main(["trace", "graphchi-als", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(path), "--platform", "charon",
+                     "--mode", "fast"]) == 0
+        assert "replayed" in capsys.readouterr().out
+
     def test_report(self, capsys):
         assert main(["report", "graphchi-als"]) == 0
         out = capsys.readouterr().out

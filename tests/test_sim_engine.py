@@ -125,6 +125,76 @@ class TestScheduling:
             sim.advance_to(2.0)
 
 
+class TestCancelledEvents:
+    def test_skipped_without_firing_or_counting(self):
+        sim = Simulator()
+        fired = []
+        cancelled = sim.schedule(1.0, lambda: fired.append("dead"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        cancelled.cancel()
+        sim.run()
+        assert fired == ["live"]
+        assert sim.events_fired == 1
+        assert sim.now == 2.0
+
+    def test_cancel_from_earlier_callback(self):
+        """An event cancelled mid-run (by an earlier event's action)
+        must be skipped even though it was live when run() started."""
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.events_fired == 1
+
+    def test_step_drains_cancelled_queue(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(3)]
+        for event in events:
+            event.cancel()
+        assert sim.step() is False
+        assert sim.events_fired == 0
+        assert sim.now == 0.0
+
+    def test_run_until_ignores_cancelled_head(self):
+        """A cancelled event before ``until`` must not stall the clock
+        at its (dead) timestamp."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(5.0, lambda: None)
+        assert sim.run(until=3.0) == 3.0
+        assert sim.events_fired == 0
+
+
+class TestSchedulingIntoThePast:
+    def test_schedule_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_error_names_the_label(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="tlb-refill"):
+            sim.schedule(-0.5, lambda: None, label="tlb-refill")
+
+    def test_time_reversal_detected_at_fire_time(self):
+        """A queue entry behind the clock (a modelling bug, reachable
+        only by corrupting the calendar) is detected when popped."""
+        import heapq
+
+        from repro.sim.engine import Event
+
+        sim = Simulator()
+        sim.advance_to(2.0)
+        heapq.heappush(sim._queue,
+                       Event(time=1.0, seq=0, action=lambda: None))
+        with pytest.raises(SimulationError, match="time reversal"):
+            sim.step()
+
+
 class TestProcess:
     def test_generator_delays(self):
         sim = Simulator()
