@@ -161,8 +161,49 @@ def run_replay_kernel_bench() -> None:
         for name in sorted(platforms)))
 
 
+def run_collect_bench() -> None:
+    """Run the collect-kernel benchmark and validate its report.
+
+    ``bench_collect.py`` exits non-zero on a scalar/fast divergence or
+    a combined minor+major generation speedup below the 3x floor; on
+    success the report must carry an equivalence verdict and a speedup
+    for every collector scenario.
+    """
+    report_path = ARTIFACTS / "BENCH_collect.json"
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    process = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "bench_collect.py"),
+         str(report_path)],
+        cwd=REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if process.returncode != 0:
+        print(process.stdout)
+        sys.exit(f"bench smoke: collect-kernel benchmark failed "
+                 f"(exit {process.returncode})")
+    report = json.loads(report_path.read_text())
+    scenarios = report.get("scenarios", {})
+    expected = {"minor", "major", "sweep", "g1"}
+    if set(scenarios) != expected:
+        sys.exit(f"bench smoke: BENCH_collect.json covers "
+                 f"{sorted(scenarios)}, expected {sorted(expected)}")
+    broken = [name for name, row in scenarios.items()
+              if not row["equivalent"] or row["speedup"] <= 0]
+    if broken:
+        sys.exit(f"bench smoke: BENCH_collect.json records bad rows "
+                 f"for {broken}")
+    combined = report.get("combined_minor_major_speedup", 0.0)
+    if combined < report.get("floor", 3.0):
+        sys.exit(f"bench smoke: combined minor+major speedup "
+                 f"{combined:.1f}x is below the floor")
+    print(f"bench smoke: collect-kernel report OK — " + ", ".join(
+        f"{name} {scenarios[name]['speedup']:.1f}x"
+        for name in sorted(scenarios))
+        + f", combined minor+major {combined:.1f}x")
+
+
 def main() -> None:
     run_replay_kernel_bench()
+    run_collect_bench()
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))
         workloads = len(SMOKE_WORKLOADS.split(","))

@@ -11,6 +11,13 @@ through ``make_replayer`` in auto mode, then fails if
 * a platform stopped declaring fast-path support at any of the
   1/2/4/8 GC-thread counts the paper sweeps.
 
+The trace sets themselves are generated fresh at the top, which also
+pins the *collect-side* fast path: the script fails if that generation
+recorded zero fast heap-kernel calls, any ``heap.kernel_fallbacks``
+demotion to scalar kernels, or any collector run that took the scalar
+path outright (``heap.kernel_calls`` with ``kernel=scalar``) while the
+default ``fast`` mode was in effect.
+
 This pins the support matrix: a change that quietly demotes a platform
 to event-by-event replay turns every trace sweep back into the
 bottleneck the batched kernels removed, and nothing else would notice
@@ -51,6 +58,36 @@ def main() -> int:
     compiled_sets = {name: compile_traces(traces)
                      for name, traces in trace_sets.items()}
     failures = []
+
+    # Collect-side guard: generating the trace sets above ran real
+    # collectors under the default (fast) heap-kernel mode.
+    fast_calls = 0.0
+    heap_fallbacks = 0.0
+    scalar_collects = []
+    for sample in global_metrics().samples():
+        metric = sample["metric"]
+        if metric == "heap.kernel_calls":
+            labels = sample["labels"]
+            if labels.get("kernel") == "fast":
+                fast_calls += sample["value"]
+            elif labels.get("op") in ("minor", "major", "sweep", "g1"):
+                scalar_collects.append(
+                    f"{labels['op']} x{sample['value']:.0f}")
+        elif metric == "heap.kernel_fallbacks":
+            heap_fallbacks += sample["value"]
+    if fast_calls == 0:
+        failures.append("trace generation recorded zero fast "
+                        "heap-kernel calls")
+    if heap_fallbacks:
+        failures.append(f"{heap_fallbacks:.0f} collector run(s) were "
+                        f"silently demoted to scalar heap kernels")
+    if scalar_collects:
+        failures.append("collector runs took the scalar heap-kernel "
+                        "path in fast mode: "
+                        + ", ".join(scalar_collects))
+    if not failures:
+        print(f"collect-side kernels: {fast_calls:.0f} fast calls, "
+              f"0 fallbacks, 0 scalar collector runs")
     for name in PLATFORMS:
         for threads in THREADS:
             platform, _, _ = platform_for(name)

@@ -197,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "default: all four, cross-checked)")
     fuzz.add_argument("--ops", type=int, default=None,
                       help="schedule length override")
+    fuzz.add_argument("--kernels", action="store_true",
+                      help="compare scalar vs fast heap kernels "
+                           "instead of cross-collector live graphs: "
+                           "every seed must produce identical trace "
+                           "event streams and byte-identical heaps "
+                           "under both kernel modes")
     fuzz.add_argument("--shrink", action="store_true",
                       help="minimize a failing schedule and write a "
                            "reproducer file")
@@ -364,8 +370,8 @@ def _cmd_stats(args) -> str:
     from repro.experiments.runner import workload_config
     from repro.gcalgo.columnar import compile_traces
     from repro.heap.heap import JavaHeap
-    from repro.obs.adapters import (device_metrics, hmc_metrics,
-                                    replay_kernel_metrics,
+    from repro.obs.adapters import (device_metrics, heap_kernel_metrics,
+                                    hmc_metrics, replay_kernel_metrics,
                                     timing_metrics, trace_cache_metrics)
     from repro.obs.export import metrics_csv, metrics_snapshot
     from repro.obs.metrics import MetricsRegistry
@@ -385,6 +391,7 @@ def _cmd_stats(args) -> str:
     registry = MetricsRegistry()
     timing_metrics(registry, result, workload=args.workload)
     replay_kernel_metrics(registry)
+    heap_kernel_metrics(registry)
     trace_cache_metrics(registry)
     if platform.device is not None:
         device_metrics(registry, platform.device)
@@ -433,6 +440,7 @@ def _cmd_timeline(args) -> str:
 def _cmd_fuzz(args) -> int:
     from repro.config import default_fuzz_config
     from repro.fuzz import fuzz_seed
+    from repro.fuzz.differential import compare_kernel_modes
     from repro.fuzz.shrink import (failure_predicate, shrink_schedule,
                                    write_reproducer)
 
@@ -441,11 +449,12 @@ def _cmd_fuzz(args) -> int:
         config = config.with_ops(args.ops)
     collectors = tuple(args.collector) if args.collector \
         else config.collectors
+    run_one = compare_kernel_modes if args.kernels else fuzz_seed
     failures = 0
     infeasible = 0
     checked = 0
     for seed in range(args.seed, args.seed + args.iterations):
-        result = fuzz_seed(seed, config, collectors)
+        result = run_one(seed, config, collectors)
         if result.status == "ok":
             checked += result.collections_checked
             print(f"seed {seed}: ok ({result.ops} ops, "
@@ -460,7 +469,7 @@ def _cmd_fuzz(args) -> int:
         failure = result.failure
         print(f"seed {seed}: FAILED [{failure.collector}] "
               f"{failure.message}")
-        if args.shrink:
+        if args.shrink and not args.kernels:
             fails = failure_predicate(collectors, config)
             minimized = shrink_schedule(failure.ops, fails,
                                         rounds=config.shrink_rounds)

@@ -465,8 +465,16 @@ WORKLOADS_ENV = "REPRO_WORKLOADS"              #: comma-separated subset
 TRACE_OUT_ENV = "REPRO_TRACE_OUT"              #: Chrome trace at exit
 METRICS_OUT_ENV = "REPRO_METRICS_OUT"          #: metric snapshot at exit
 REPLAY_MODE_ENV = "REPRO_REPLAY_MODE"          #: auto | fast | event
+HEAP_KERNELS_ENV = "REPRO_HEAP_KERNELS"        #: scalar | fast
 
 REPLAY_MODES = ("auto", "fast", "event")
+
+#: Functional-layer kernel selection (see
+#: :mod:`repro.heap.fast_kernels`): ``fast`` (default) runs the
+#: collectors on the vectorized heap primitives, ``scalar`` keeps the
+#: reference object-at-a-time paths — the oracle the differential
+#: fuzzer compares against.
+HEAP_KERNEL_MODES = ("scalar", "fast")
 
 
 @dataclass(frozen=True)

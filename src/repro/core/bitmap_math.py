@@ -33,12 +33,38 @@ from repro.errors import ConfigError
 
 _MASK64 = (1 << 64) - 1
 
+#: 16-bit popcount lookup table — the software analogue of the unit's
+#: popcount tree.  Shared by every scalar popcount in the repo (the
+#: mark-bitmap oracle delegates here), so the reference path stops
+#: paying ``bin(value).count("1")`` string formatting per query.
+POPCOUNT16 = bytes(bin(value).count("1") for value in range(1 << 16))
+
+#: Byte-wide table for the arbitrary-precision path: popcounting an
+#: n-bit integer is one ``to_bytes`` + one ``translate`` + one ``sum``,
+#: all linear in n (the string-formatting path re-rendered the whole
+#: integer per call).
+_POPCOUNT8 = POPCOUNT16[:256]
+
+
+def popcount_int(value: int) -> int:
+    """Set-bit count of any non-negative int via the lookup tables."""
+    if value < 0:
+        raise ConfigError("popcount_int takes a non-negative int")
+    if value <= _MASK64:
+        table = POPCOUNT16
+        return (table[value & 0xFFFF]
+                + table[(value >> 16) & 0xFFFF]
+                + table[(value >> 32) & 0xFFFF]
+                + table[value >> 48])
+    data = value.to_bytes((value.bit_length() + 7) // 8, "little")
+    return sum(data.translate(_POPCOUNT8))
+
 
 def popcount64(word: int) -> int:
     """Set-bit count of one 64-bit word (the unit's popcount tree)."""
     if not 0 <= word <= _MASK64:
         raise ConfigError("popcount64 takes a 64-bit word")
-    return bin(word).count("1")
+    return popcount_int(word)
 
 
 def prepare_range(beg_words: Sequence[int], end_words: Sequence[int],

@@ -24,6 +24,7 @@ from repro.errors import (FuzzError, HeapError, InfeasibleSchedule,
 from repro.fuzz.executor import (COLLECTOR_MODES, ExecutionResult,
                                  ScheduleExecutor)
 from repro.fuzz.generator import FuzzOp, build_schedule
+from repro.heap.fast_kernels import use_kernel_mode
 
 
 @dataclass
@@ -61,11 +62,13 @@ class SeedResult:
 def run_schedule(ops: Sequence[FuzzOp], collector: str,
                  config: Optional[FuzzConfig] = None,
                  use_oracle: bool = True,
-                 seed: Optional[int] = None) -> ExecutionResult:
+                 seed: Optional[int] = None,
+                 kernels: Optional[str] = None) -> ExecutionResult:
     """Replay ``ops`` under one collector with the oracle installed."""
     config = config or default_fuzz_config()
     executor = ScheduleExecutor(collector, config,
-                                use_oracle=use_oracle, seed=seed)
+                                use_oracle=use_oracle, seed=seed,
+                                kernels=kernels)
     return executor.execute(list(ops))
 
 
@@ -90,6 +93,121 @@ def _cross_check(results: Dict[str, ExecutionResult]) -> None:
                 raise OracleViolation(
                     f"live graphs diverge after explicit GC #{index}: "
                     f"{names[0]} vs {name}")
+
+
+def _assert_kernel_equivalence(collector: str,
+                               scalar: ExecutionResult,
+                               fast: ExecutionResult) -> None:
+    """Scalar and fast kernels must be observationally identical.
+
+    The fast kernels promise *bit-exactness*, which is much stronger
+    than the live-graph agreement the cross-collector check settles
+    for: every GCTrace event stream, every residual-cost account, the
+    final heap buffer, the root table, the card table and the mark
+    bitmaps must match byte for byte.
+    """
+    if len(scalar.traces) != len(fast.traces):
+        raise OracleViolation(
+            f"[{collector}] scalar ran {len(scalar.traces)} "
+            f"collections but fast ran {len(fast.traces)}")
+    for index, (a, b) in enumerate(zip(scalar.traces, fast.traces)):
+        if a.kind != b.kind:
+            raise OracleViolation(
+                f"[{collector}] collection #{index} kind differs: "
+                f"{a.kind} vs {b.kind}")
+        if a.events != b.events:
+            for pos, (ea, eb) in enumerate(zip(a.events, b.events)):
+                if ea != eb:
+                    raise OracleViolation(
+                        f"[{collector}] collection #{index} ({a.kind}) "
+                        f"event #{pos} differs: {ea} vs {eb}")
+            raise OracleViolation(
+                f"[{collector}] collection #{index} ({a.kind}) event "
+                f"counts differ: {len(a.events)} vs {len(b.events)}")
+        if a.residuals != b.residuals:
+            raise OracleViolation(
+                f"[{collector}] collection #{index} ({a.kind}) "
+                f"residuals differ: {a.residuals} vs {b.residuals}")
+        if a.summary() != b.summary():
+            raise OracleViolation(
+                f"[{collector}] collection #{index} ({a.kind}) "
+                f"summaries differ")
+    heap_a, heap_b = scalar.heap, fast.heap
+    assert heap_a is not None and heap_b is not None
+    if bytes(heap_a.buffer) != bytes(heap_b.buffer):
+        diff = [i for i, (x, y) in enumerate(zip(heap_a.buffer,
+                                                 heap_b.buffer))
+                if x != y]
+        raise OracleViolation(
+            f"[{collector}] final heap buffers differ at "
+            f"{len(diff)} bytes (first at offset {diff[0]:#x})")
+    if list(heap_a.roots) != list(heap_b.roots):
+        raise OracleViolation(f"[{collector}] root tables differ")
+    layout_a, layout_b = heap_a.layout, heap_b.layout
+    tops_a = (layout_a.eden.top, layout_a.survivor_from.top,
+              layout_a.survivor_to.top, layout_a.old.top)
+    tops_b = (layout_b.eden.top, layout_b.survivor_from.top,
+              layout_b.survivor_to.top, layout_b.old.top)
+    if tops_a != tops_b:
+        raise OracleViolation(
+            f"[{collector}] space tops differ: {tops_a} vs {tops_b}")
+    if (heap_a.card_table.bytes.tobytes()
+            != heap_b.card_table.bytes.tobytes()):
+        raise OracleViolation(f"[{collector}] card tables differ")
+    if (heap_a.bitmaps.beg.tobytes() != heap_b.bitmaps.beg.tobytes()
+            or heap_a.bitmaps.end.tobytes()
+            != heap_b.bitmaps.end.tobytes()):
+        raise OracleViolation(f"[{collector}] mark bitmaps differ")
+
+
+def compare_kernel_modes(seed: int,
+                         config: Optional[FuzzConfig] = None,
+                         collectors: Optional[Sequence[str]] = None
+                         ) -> SeedResult:
+    """Replay one seed per collector under scalar *and* fast kernels.
+
+    The reachability oracle is off (both replays are checked against
+    each other instead, to a far tighter standard), so this is cheap
+    enough to run over many seeds.
+    """
+    config = config or default_fuzz_config()
+    collectors = tuple(collectors or config.collectors)
+    for name in collectors:
+        if name not in COLLECTOR_MODES:
+            raise FuzzError(f"unknown collector {name!r}; choose from "
+                            f"{', '.join(COLLECTOR_MODES)}")
+    ops = build_schedule(seed, config)
+    collections = 0
+    live_objects = 0
+    for name in collectors:
+        try:
+            scalar = run_schedule(ops, name, config, use_oracle=False,
+                                  seed=seed, kernels="scalar")
+            fast = run_schedule(ops, name, config, use_oracle=False,
+                                seed=seed, kernels="fast")
+        except InfeasibleSchedule as error:
+            return SeedResult(seed=seed, status="infeasible",
+                              collectors=collectors, ops=len(ops),
+                              detail=str(error))
+        except (FuzzError, HeapError) as error:
+            return SeedResult(
+                seed=seed, status="failed", collectors=collectors,
+                ops=len(ops),
+                failure=FuzzFailure(seed=seed, collector=name,
+                                    message=str(error), ops=ops))
+        try:
+            _assert_kernel_equivalence(name, scalar, fast)
+        except OracleViolation as error:
+            return SeedResult(
+                seed=seed, status="failed", collectors=collectors,
+                ops=len(ops),
+                failure=FuzzFailure(seed=seed, collector=name,
+                                    message=str(error), ops=ops))
+        collections += len(scalar.traces)
+        live_objects = scalar.live_objects
+    return SeedResult(seed=seed, status="ok", collectors=collectors,
+                      ops=len(ops), collections_checked=collections,
+                      live_objects=live_objects)
 
 
 def run_seed(seed: int, config: Optional[FuzzConfig] = None,

@@ -33,6 +33,7 @@ from repro.fuzz.generator import FuzzOp
 from repro.fuzz.oracle import GCOracle, snapshot_live
 from repro.gcalgo.g1 import G1Collector
 from repro.gcalgo.trace import GCTrace
+from repro.heap.fast_kernels import use_kernel_mode
 from repro.heap.heap import JavaHeap
 from repro.heap.klass import KlassKind
 from repro.workloads.base import workload_klasses
@@ -147,11 +148,15 @@ class ScheduleExecutor:
 
     def __init__(self, mode: str, config: FuzzConfig,
                  use_oracle: bool = True,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 kernels: Optional[str] = None) -> None:
         config.validate()
         self.config = config
         self.mode = mode
         self.seed = seed
+        #: heap-kernel mode pinned for the whole replay (``"scalar"``
+        #: or ``"fast"``); ``None`` keeps the process-wide setting.
+        self.kernels = kernels
         self.heap = build_fuzz_heap(config)
         # G1 lays regions over the whole range, so the classic-layout
         # space walker does not apply there.
@@ -208,6 +213,12 @@ class ScheduleExecutor:
     # -- execution ---------------------------------------------------------
 
     def execute(self, ops: List[FuzzOp]) -> ExecutionResult:
+        if self.kernels is not None:
+            with use_kernel_mode(self.kernels):
+                return self._execute(ops)
+        return self._execute(ops)
+
+    def _execute(self, ops: List[FuzzOp]) -> ExecutionResult:
         result = ExecutionResult(collector=self.mode, seed=self.seed,
                                  final_fingerprint="")
         for op in ops:

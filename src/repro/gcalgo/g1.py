@@ -28,16 +28,23 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.gcalgo.stack import ObjectStack
 from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                 RESIDUAL_COSTS, chunk_refs)
+from repro.heap import fast_kernels
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import MarkWord, ObjectView
 from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE, KB, WORD, align_up
+
+#: ``(addr, klass_id, length, size)`` — the fast paths carry decoded
+#: headers instead of :class:`ObjectView` wrappers.
+LiveRec = Tuple[int, int, int, int]
 
 
 class RegionType(enum.Enum):
@@ -203,16 +210,27 @@ class G1Collector:
         for hook in self.pre_collect_hooks:
             hook(self.heap, "g1")
         obs = get_tracer()
+        fast = fast_kernels.fast_enabled(self.heap)
+        fast_kernels.record_call("g1",
+                                 kernel="fast" if fast else "scalar")
         trace = GCTrace("g1", heap_bytes=self.heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
                        96 * 1024)
         with obs.span("collect", cat="collector", gc="g1"):
-            with obs.span("mark", cat="collector", gc="g1"):
-                live_by_region = self._mark(trace)
-            with obs.span("liveness", cat="collector", gc="g1"):
-                self._account_liveness(trace, live_by_region)
-            with obs.span("evacuate", cat="collector", gc="g1"):
-                self._evacuate(trace, live_by_region)
+            if fast:
+                with obs.span("mark", cat="collector", gc="g1"):
+                    live_by_region = self._mark_fast(trace)
+                with obs.span("liveness", cat="collector", gc="g1"):
+                    self._account_liveness_fast(trace)
+                with obs.span("evacuate", cat="collector", gc="g1"):
+                    self._evacuate_fast(trace, live_by_region)
+            else:
+                with obs.span("mark", cat="collector", gc="g1"):
+                    live_by_region = self._mark(trace)
+                with obs.span("liveness", cat="collector", gc="g1"):
+                    self._account_liveness(trace, live_by_region)
+                with obs.span("evacuate", cat="collector", gc="g1"):
+                    self._evacuate(trace, live_by_region)
         self.collections += 1
         self.traces.append(trace)
         self._allocation_region = None
@@ -413,6 +431,233 @@ class G1Collector:
                             and not old_space.contains(target):
                         heap.card_table.dirty(slot)
                 cursor = view.end_addr
+
+    # -- fast-path phases ----------------------------------------------------------------
+
+    def _mark_fast(self, trace: GCTrace) -> Dict[int, List[LiveRec]]:
+        """The scalar traversal with raw-word decode and the bitmap
+        marks deferred into one bulk write."""
+        heap = self.heap
+        heap.bitmaps.clear()
+        ops = fast_kernels.HeapOps(heap)
+        stack: ObjectStack[int] = ObjectStack()
+        marked: Set[int] = set()
+        live_by_region: Dict[int, List[LiveRec]] = {}
+        heap_start = heap.layout.heap_start
+        region_bytes = self.region_bytes
+
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("mark", RESIDUAL_COSTS["root"] * n_roots,
+                           CACHE_LINE * n_roots)
+        for addr in heap.roots:
+            if addr and addr not in marked:
+                marked.add(addr)
+                stack.push(addr)
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        trivial_cost = RESIDUAL_COSTS["scan_trivial"]
+        all_addrs: List[int] = []
+        all_sizes: List[int] = []
+        while stack:
+            addr = stack.pop()
+            trace.residual("mark", pop_cost)
+            kid, length, size = ops.decode(addr)
+            trace.objects_visited += 1
+            all_addrs.append(addr)
+            all_sizes.append(size)
+            live_by_region.setdefault(
+                (addr - heap_start) // region_bytes,
+                []).append((addr, kid, length, size))
+            slots = ops.ref_slots(addr, kid, length)
+            if slots:
+                trace.residual("mark", check_cost * len(slots))
+                pushes = 0
+                for slot in slots:
+                    target = ops.read_word(slot)
+                    if target and target not in marked:
+                        marked.add(target)
+                        stack.push(target)
+                        pushes += 1
+                for refs, chunk_pushes in chunk_refs(len(slots),
+                                                     pushes):
+                    trace.scan_push("mark", addr, refs, chunk_pushes)
+            else:
+                trace.residual("mark", trivial_cost)
+        if all_addrs:
+            fast_kernels.mark_objects_bulk(
+                heap.bitmaps, np.asarray(all_addrs, dtype=np.int64),
+                np.asarray(all_sizes, dtype=np.int64))
+        for recs in live_by_region.values():
+            recs.sort()
+        return live_by_region
+
+    def _account_liveness_fast(self, trace: GCTrace) -> None:
+        """Per-region Bitmap Count via one O(1) coverage-index query
+        each, same events as :meth:`_account_liveness`."""
+        index = fast_kernels.CoverageIndex(self.heap.bitmaps)
+        bits = self.region_bytes // WORD
+        for region in self.regions:
+            if region.region_type is RegionType.FREE:
+                region.live_bytes = 0
+                continue
+            words = index.live_words(region.start, region.end)
+            trace.bitmap_count("liveness", region.start, bits=bits)
+            region.live_bytes = words * WORD
+
+    def _evacuate_fast(self, trace: GCTrace,
+                       live_by_region: Dict[int, List[LiveRec]]
+                       ) -> None:
+        heap = self.heap
+        ops = fast_kernels.HeapOps(heap)
+        cset = self._choose_collection_set()
+        cset_indices = {region.index for region in cset}
+        heap_start = heap.layout.heap_start
+        region_bytes = self.region_bytes
+        n_regions = len(self.regions)
+
+        stack: ObjectStack[int] = ObjectStack()
+        for table_addr, n_cards, found in \
+                fast_kernels.search_blocks_fast(heap.card_table):
+            trace.search("remset", table_addr, n_cards, found)
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("remset", RESIDUAL_COSTS["root"] * n_roots,
+                           CACHE_LINE * n_roots)
+        for index in range(n_roots):
+            stack.push(-(index + 1))
+
+        # Remembered-set scan, one gathered batch per non-cset region:
+        # the flattened cset-membership mask replays the scalar push
+        # order, and per-object prefix sums recover the pushes counts
+        # the scan_push events need.
+        cset_mask = np.zeros(n_regions, dtype=bool)
+        cset_mask[list(cset_indices)] = True
+        for region_index, recs in live_by_region.items():
+            if region_index in cset_indices:
+                continue
+            columns = np.asarray(recs, dtype=np.int64)
+            batch = fast_kernels.gather_ref_slots(
+                heap, columns[:, 0], columns[:, 1], columns[:, 2])
+            if not len(batch):
+                continue
+            targets = batch.targets
+            target_region = (targets - heap_start) // region_bytes
+            valid = ((targets != 0) & (target_region >= 0)
+                     & (target_region < n_regions))
+            into_cset = np.zeros(len(batch), dtype=bool)
+            into_cset[valid] = cset_mask[target_region[valid]]
+            for slot in batch.slots[into_cset].tolist():
+                stack.push(slot)
+            counts = batch.counts
+            boundaries = np.concatenate(
+                ([0], np.cumsum(counts))).astype(np.int64)
+            push_cum = np.concatenate(
+                ([0], np.cumsum(into_cset))).astype(np.int64)
+            addr_list = columns[:, 0].tolist()
+            count_list = counts.tolist()
+            for obj in np.flatnonzero(counts).tolist():
+                pushes = int(push_cum[boundaries[obj + 1]]
+                             - push_cum[boundaries[obj]])
+                if pushes:
+                    for refs, chunk_pushes in chunk_refs(
+                            int(count_list[obj]), pushes):
+                        trace.scan_push("remset", addr_list[obj],
+                                        refs, chunk_pushes)
+
+        # Drain: identical to the scalar loop with raw-word decode.
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        forward_cost = RESIDUAL_COSTS["forward_update"]
+        while stack:
+            slot = stack.pop()
+            trace.residual("evacuate", pop_cost)
+            ref = self._read_slot(slot)
+            if ref == 0 or (ref - heap_start) // region_bytes \
+                    not in cset_indices:
+                continue
+            mark = heap.mark_word(ref)
+            trace.residual("evacuate", check_cost, CACHE_LINE)
+            if mark.is_forwarded:
+                new_addr = mark.forwarding_address
+            else:
+                new_addr = self._copy_out_fast(trace, stack, ref,
+                                               cset_indices, ops)
+            self._write_slot(slot, new_addr)
+            trace.residual("evacuate", forward_cost)
+
+        freed = 0
+        for region in cset:
+            freed += region.used
+            region.reset()
+        trace.bytes_freed = freed
+        heap.bitmaps.clear()
+        heap.card_table.clear()
+        self._rebuild_cards_fast(trace)
+
+    def _copy_out_fast(self, trace: GCTrace, stack: ObjectStack,
+                       addr: int, cset_indices: Set[int],
+                       ops: "fast_kernels.HeapOps") -> int:
+        heap = self.heap
+        kid, length, size = ops.decode(addr)
+        dest_region = self._old_allocation_region
+        if dest_region is None or not dest_region.can_allocate(size):
+            dest_region = self._take_free_region(RegionType.OLD)
+            self._old_allocation_region = dest_region
+        dst = dest_region.allocate(size)
+        heap.copy_bytes(addr, dst, size)
+        trace.copy("evacuate", addr, dst, size)
+        trace.objects_copied += 1
+        trace.bytes_copied += size
+        heap.set_mark_word(dst, MarkWord.fresh())
+        heap.set_mark_word(addr, MarkWord.fresh().forwarded_to(dst))
+        dest_region.live_bytes += size
+
+        heap_start = heap.layout.heap_start
+        region_bytes = self.region_bytes
+        push_cost = RESIDUAL_COSTS["push"]
+        slots = ops.ref_slots(dst, kid, length)
+        pushes = 0
+        for slot in slots:
+            target = ops.read_word(slot)
+            if target and (target - heap_start) // region_bytes \
+                    in cset_indices:
+                stack.push(slot)
+                pushes += 1
+                trace.residual("evacuate", push_cost)
+        if slots:
+            for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                trace.scan_push("evacuate", dst, refs, chunk_pushes)
+        else:
+            trace.residual("evacuate", RESIDUAL_COSTS["scan_trivial"])
+        return dst
+
+    def _rebuild_cards_fast(self, trace: GCTrace) -> None:
+        """One parse + gather per surviving old region, then a
+        vectorized old→elsewhere slot mask dirtied in one store."""
+        heap = self.heap
+        old_space = heap.layout.old
+        for region in self.regions_of_type(RegionType.OLD):
+            if not old_space.contains(region.start):
+                continue
+            parsed = fast_kernels.parse_space(heap, region.start,
+                                              region.top)
+            n_objects = len(parsed)
+            if not n_objects:
+                continue
+            trace.residual("card-rebuild",
+                           RESIDUAL_COSTS["card_clean"] * n_objects)
+            batch = fast_kernels.gather_ref_slots(
+                heap, parsed.addrs, parsed.kids, parsed.lengths)
+            if not len(batch):
+                continue
+            slots, targets = batch.slots, batch.targets
+            dirty = ((targets != 0)
+                     & (slots >= old_space.start)
+                     & (slots < old_space.end)
+                     & ~((targets >= old_space.start)
+                         & (targets < old_space.end)))
+            heap.card_table.dirty_slots(slots[dirty])
 
     # -- slot helpers ----------------------------------------------------------------------
 

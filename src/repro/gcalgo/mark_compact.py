@@ -32,15 +32,25 @@ between ParallelScavenge's two collectors.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.gcalgo.stack import ObjectStack
 from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                RESIDUAL_COSTS, chunk_refs)
+from repro.heap import fast_kernels
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import ObjectView
 from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE, WORD
+
+#: Fast-path live-object record: ``(addr, klass_id, length, size)``.
+LiveRec = Tuple[int, int, int, int]
+
+#: The header mark bit (bit 6 of the mark word), for the bulk
+#: set/clear kernels; MarkWord.marked()/unmarked() toggle the same bit.
+_HEADER_MARK_BIT = 1 << 6
 
 #: Compaction region size: 512 heap words, HotSpot's RegionSize.
 REGION_WORDS = 512
@@ -63,6 +73,9 @@ class MajorGC:
     def collect(self) -> GCTrace:
         heap = self.heap
         obs = get_tracer()
+        fast = fast_kernels.fast_enabled(heap)
+        fast_kernels.record_call("major",
+                                 kernel="fast" if fast else "scalar")
         trace = GCTrace("major", heap_bytes=heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["major"],
                        96 * 1024)
@@ -70,25 +83,56 @@ class MajorGC:
         old_used_before = heap.layout.old.used
 
         with obs.span("collect", cat="collector", gc="major"):
-            with obs.span("mark", cat="collector", gc="major"):
-                live_old, live_young = self._mark(trace)
-            with obs.span("summary", cat="collector", gc="major"):
-                region_live = self._region_live(trace, live_old)
-                prefix_end = self._effective_prefix_end(
-                    live_old, self._dense_prefix_end(region_live))
-                region_dest = self._summarize(trace, region_live,
-                                              prefix_end)
-            with obs.span("adjust", cat="collector", gc="major"):
-                self._adjust_pointers(trace, live_old, live_young,
-                                      region_dest, prefix_end)
-            with obs.span("compact", cat="collector", gc="major"):
-                self._compact(trace, live_old, region_dest, prefix_end)
-                self._unmark_young(live_young)
-            with obs.span("card-rebuild", cat="collector", gc="major"):
-                self._rebuild_cards(trace)
+            if fast:
+                self._collect_fast(trace, obs)
+            else:
+                self._collect_scalar(trace, obs)
 
         trace.bytes_freed = old_used_before - heap.layout.old.used
         return trace
+
+    def _collect_scalar(self, trace: GCTrace, obs) -> None:
+        with obs.span("mark", cat="collector", gc="major"):
+            live_old, live_young = self._mark(trace)
+        with obs.span("summary", cat="collector", gc="major"):
+            region_live = self._region_live(trace, live_old)
+            prefix_end = self._effective_prefix_end(
+                live_old, self._dense_prefix_end(region_live))
+            region_dest = self._summarize(trace, region_live,
+                                          prefix_end)
+        with obs.span("adjust", cat="collector", gc="major"):
+            self._adjust_pointers(trace, live_old, live_young,
+                                  region_dest, prefix_end)
+        with obs.span("compact", cat="collector", gc="major"):
+            self._compact(trace, live_old, region_dest, prefix_end)
+            self._unmark_young(live_young)
+        with obs.span("card-rebuild", cat="collector", gc="major"):
+            self._rebuild_cards(trace)
+
+    def _collect_fast(self, trace: GCTrace, obs) -> None:
+        """The vectorized phase pipeline (bit-exact with the scalar
+        one; the differential fuzzer enforces it)."""
+        heap = self.heap
+        with obs.span("mark", cat="collector", gc="major"):
+            live_old, live_young = self._mark_fast(trace)
+        with obs.span("summary", cat="collector", gc="major"):
+            # Freeze the bitmaps into the popcount-prefix-sum index —
+            # every live_words_in_range below becomes O(1).
+            index = fast_kernels.CoverageIndex(heap.bitmaps)
+            region_live = self._region_live_fast(trace, live_old)
+            prefix_end = self._effective_prefix_end_fast(
+                live_old, self._dense_prefix_end(region_live))
+            region_dest = self._summarize_fast(trace, region_live,
+                                               prefix_end, index)
+        with obs.span("adjust", cat="collector", gc="major"):
+            self._adjust_pointers_fast(trace, live_old, live_young,
+                                       region_dest, prefix_end, index)
+        with obs.span("compact", cat="collector", gc="major"):
+            self._compact_fast(trace, live_old, region_dest,
+                               prefix_end, index)
+            self._unmark_young_fast(live_young)
+        with obs.span("card-rebuild", cat="collector", gc="major"):
+            self._rebuild_cards_fast(trace)
 
     # -- marking ------------------------------------------------------------
 
@@ -352,3 +396,318 @@ class MajorGC:
                 target = heap.load_ref(slot)
                 if target and heap.layout.in_young(target):
                     heap.card_table.dirty(slot)
+
+    # -- fast-path phases ---------------------------------------------------
+    #
+    # Same phase structure, same trace events and residual totals, same
+    # final heap bytes — but header decode, bitmap marking, range
+    # queries, mark-bit set/clear, card rebuild and the compaction
+    # memmove all run through the batched kernels.  Mark bits are set
+    # and cleared in bulk at the same addresses the scalar path touches
+    # (including the marked residue left beyond the compacted top).
+
+    def _mark_fast(self, trace: GCTrace
+                   ) -> Tuple[List[LiveRec], List[LiveRec]]:
+        heap = self.heap
+        old = heap.layout.old
+        ops = fast_kernels.HeapOps(heap)
+        stack: ObjectStack[int] = ObjectStack()
+        marked = set()
+        live_old: List[LiveRec] = []
+        live_young: List[LiveRec] = []
+
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("mark", RESIDUAL_COSTS["root"] * n_roots,
+                           CACHE_LINE * n_roots)
+        for addr in heap.roots:
+            if addr and addr not in marked:
+                marked.add(addr)
+                stack.push(addr)
+
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        trivial_cost = RESIDUAL_COSTS["scan_trivial"]
+        old_lo, old_hi = old.start, old.end
+        while stack:
+            addr = stack.pop()
+            trace.residual("mark", pop_cost)
+            kid, length, size = ops.decode(addr)
+            trace.objects_visited += 1
+            record = (addr, kid, length, size)
+            if old_lo <= addr < old_hi:
+                live_old.append(record)
+            else:
+                live_young.append(record)
+            slots = ops.ref_slots(addr, kid, length)
+            if slots:
+                trace.residual("mark", check_cost * len(slots))
+                pushes = 0
+                for slot in slots:
+                    target = ops.read_word(slot)
+                    if target and target not in marked:
+                        marked.add(target)
+                        stack.push(target)
+                        pushes += 1
+                for refs, chunk_pushes in chunk_refs(len(slots),
+                                                     pushes):
+                    trace.scan_push("mark", addr, refs, chunk_pushes)
+            else:
+                trace.residual("mark", trivial_cost)
+
+        live_old.sort()
+        # Deferred bulk effects: nothing read the bitmaps or header
+        # mark bits during the traversal, so batching them here leaves
+        # the same state the per-object scalar stores produce.
+        if live_old:
+            columns = np.asarray(live_old, dtype=np.int64)
+            fast_kernels.mark_objects_bulk(heap.bitmaps,
+                                           columns[:, 0],
+                                           columns[:, 3])
+            fast_kernels.or_words_bulk(heap, columns[:, 0],
+                                       _HEADER_MARK_BIT)
+        if live_young:
+            fast_kernels.or_words_bulk(
+                heap,
+                np.asarray([rec[0] for rec in live_young],
+                           dtype=np.int64),
+                _HEADER_MARK_BIT)
+        return live_old, live_young
+
+    def _region_live_fast(self, trace: GCTrace,
+                          live_old: List[LiveRec]) -> List[int]:
+        heap = self.heap
+        old = heap.layout.old
+        n_regions = -(-old.capacity // REGION_BYTES)
+        if not live_old:
+            return [0] * n_regions
+        trace.residual("summary",
+                       RESIDUAL_COSTS["summary_region"] * len(live_old))
+        columns = np.asarray(live_old, dtype=np.int64)
+        addrs, sizes = columns[:, 0], columns[:, 3]
+        first = (addrs - old.start) // REGION_BYTES
+        last = (addrs + sizes - WORD - old.start) // REGION_BYTES
+        region_live = np.zeros(n_regions, dtype=np.int64)
+        contained = first == last
+        np.add.at(region_live, first[contained],
+                  sizes[contained] // WORD)
+        for position in np.flatnonzero(~contained).tolist():
+            start = int(addrs[position])
+            remaining = int(sizes[position])
+            while remaining > 0:
+                region = (start - old.start) // REGION_BYTES
+                region_end = old.start + (region + 1) * REGION_BYTES
+                span = min(remaining, region_end - start)
+                region_live[region] += span // WORD
+                start += span
+                remaining -= span
+        return region_live.tolist()
+
+    def _effective_prefix_end_fast(self, live_old: List[LiveRec],
+                                   region_prefix_end: int) -> int:
+        prefix_end = self.heap.layout.old.start
+        for addr, _, _, size in live_old:
+            if addr >= region_prefix_end:
+                break
+            prefix_end = max(prefix_end, addr + size)
+        return prefix_end
+
+    def _summarize_fast(self, trace: GCTrace, region_live: List[int],
+                        prefix_end: int,
+                        index: "fast_kernels.CoverageIndex"
+                        ) -> Dict[int, int]:
+        heap = self.heap
+        old = heap.layout.old
+        first_moved = (prefix_end - old.start) // REGION_BYTES
+        dest: Dict[int, int] = {}
+        cumulative = (prefix_end - old.start) // WORD
+        n_regions = len(region_live)
+        # The scalar loop only charges regions at or past the dense
+        # prefix (the prefix branch ``continue``s before its residual).
+        charged = n_regions - min(first_moved, n_regions)
+        if charged:
+            trace.residual("summary",
+                           RESIDUAL_COSTS["summary_region"] * charged)
+        for region in range(n_regions):
+            region_start = old.start + region * REGION_BYTES
+            if region < first_moved:
+                dest[region] = region * REGION_WORDS
+                continue
+            if region == first_moved and prefix_end > region_start:
+                pre = index.live_words(region_start, prefix_end)
+                dest[region] = cumulative - pre
+                cumulative = dest[region] + region_live[region]
+            else:
+                dest[region] = cumulative
+                cumulative += region_live[region]
+        return dest
+
+    def _new_address_fast(self, trace: GCTrace, phase: str,
+                          region_dest: Dict[int, int], addr: int,
+                          prefix_end: int,
+                          index: "fast_kernels.CoverageIndex") -> int:
+        """:meth:`_new_address` with the O(1) coverage-index query.
+
+        The query-cache bookkeeping (and the ``bits_cached`` field it
+        emits) is preserved verbatim — the *trace* must still describe
+        the software baseline's walk."""
+        old = self.heap.layout.old
+        if addr < prefix_end:
+            trace.residual(phase, RESIDUAL_COSTS["check_mark"])
+            return addr
+        region = (addr - old.start) // REGION_BYTES
+        region_start = old.start + region * REGION_BYTES
+        words = index.live_words(region_start, addr)
+        bits = (addr - region_start) // WORD
+        cached = None
+        last = self._last_query
+        if last is not None and last[0] == region_start \
+                and last[1] <= addr:
+            cached = (addr - last[1]) // WORD
+        self._last_query = (region_start, addr)
+        trace.bitmap_count(phase, region_start, bits=bits,
+                           bits_cached=cached)
+        return old.start + (region_dest[region] + words) * WORD
+
+    def _adjust_pointers_fast(self, trace: GCTrace,
+                              live_old: List[LiveRec],
+                              live_young: List[LiveRec],
+                              region_dest: Dict[int, int],
+                              prefix_end: int,
+                              index: "fast_kernels.CoverageIndex"
+                              ) -> None:
+        heap = self.heap
+        layout = heap.layout
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("adjust",
+                           RESIDUAL_COSTS["forward_update"] * n_roots)
+        for position, addr in enumerate(heap.roots):
+            if addr and layout.in_old(addr):
+                heap.roots[position] = self._new_address_fast(
+                    trace, "adjust", region_dest, addr, prefix_end,
+                    index)
+        all_live = live_old + live_young
+        if not all_live:
+            return
+        columns = np.asarray(all_live, dtype=np.int64)
+        batch = fast_kernels.gather_ref_slots(
+            heap, columns[:, 0], columns[:, 1], columns[:, 2])
+        total_slots = len(batch)
+        if total_slots:
+            trace.residual("adjust",
+                           RESIDUAL_COSTS["check_mark"] * total_slots)
+        # Every slot was read exactly once above, and each write below
+        # goes only to the slot just read — gather-then-loop is exact.
+        old_refs = ((batch.targets >= layout.old.start)
+                    & (batch.targets < layout.old.end))
+        slots = batch.slots
+        targets = batch.targets
+        changed_slots: List[int] = []
+        changed_values: List[int] = []
+        for position in np.flatnonzero(old_refs).tolist():
+            target = int(targets[position])
+            new_target = self._new_address_fast(
+                trace, "adjust", region_dest, target, prefix_end,
+                index)
+            if new_target != target:
+                changed_slots.append(int(slots[position]))
+                changed_values.append(new_target)
+        if changed_slots:
+            trace.residual(
+                "adjust",
+                RESIDUAL_COSTS["forward_update"] * len(changed_slots))
+            word_indices = (np.asarray(changed_slots, dtype=np.int64)
+                            - heap.base) // WORD
+            heap.words[word_indices] = np.asarray(
+                changed_values, dtype=np.uint64)
+
+    def _compact_fast(self, trace: GCTrace, live_old: List[LiveRec],
+                      region_dest: Dict[int, int], prefix_end: int,
+                      index: "fast_kernels.CoverageIndex") -> None:
+        heap = self.heap
+        old = heap.layout.old
+        cursor = old.start
+        new_top = prefix_end
+        moved_from = 0
+        for position, (addr, _, _, size) in enumerate(live_old):
+            if addr >= prefix_end:
+                break
+            moved_from = position + 1
+            if addr > cursor:
+                heap.fill_dead_range(cursor, addr)
+                trace.residual("compact", RESIDUAL_COSTS["sweep_step"])
+            cursor = max(cursor, addr + size)
+        # Moved objects slide left; contiguous src/dst runs collapse
+        # into one slice memmove (per-object Copy events preserved).
+        run_src = run_dst = run_len = 0
+
+        def flush_run() -> None:
+            nonlocal run_len
+            if run_len:
+                heap.move_bytes(run_src, run_dst, run_len)
+                run_len = 0
+
+        dst_addrs: List[int] = [rec[0] for rec in
+                                live_old[:moved_from]]
+        for addr, _, _, size in live_old[moved_from:]:
+            dst = self._new_address_fast(trace, "compact", region_dest,
+                                         addr, prefix_end, index)
+            if dst != addr:
+                if run_len and addr == run_src + run_len \
+                        and dst == run_dst + run_len:
+                    run_len += size
+                else:
+                    flush_run()
+                    run_src, run_dst, run_len = addr, dst, size
+                trace.copy("compact", addr, dst, size)
+                trace.objects_copied += 1
+                trace.bytes_copied += size
+            else:
+                flush_run()
+            dst_addrs.append(dst)
+            new_top = dst + size
+        flush_run()
+        # Bulk mark-bit clear at every surviving header (prefix objects
+        # in place, moved objects at their destinations) — the marked
+        # residue at moved objects' old addresses stays, as in the
+        # scalar path.
+        if dst_addrs:
+            fast_kernels.and_words_bulk(
+                heap, np.asarray(dst_addrs, dtype=np.int64),
+                ~_HEADER_MARK_BIT)
+        old.top = new_top
+        heap.bitmaps.clear()
+
+    def _unmark_young_fast(self, live_young: List[LiveRec]) -> None:
+        if live_young:
+            fast_kernels.and_words_bulk(
+                self.heap,
+                np.asarray([rec[0] for rec in live_young],
+                           dtype=np.int64),
+                ~_HEADER_MARK_BIT)
+
+    def _rebuild_cards_fast(self, trace: GCTrace) -> None:
+        heap = self.heap
+        card_table = heap.card_table
+        card_table.clear()
+        old = heap.layout.old
+        parsed = fast_kernels.parse_space(heap, old.start, old.top)
+        if not len(parsed):
+            return
+        trace.residual("card-rebuild",
+                       RESIDUAL_COSTS["card_clean"] * len(parsed))
+        not_filler = ((parsed.kids != heap.filler_klass.klass_id)
+                      & (parsed.kids
+                         != heap.filler_object_klass.klass_id))
+        keep = np.flatnonzero(not_filler)
+        if not keep.shape[0]:
+            return
+        batch = fast_kernels.gather_ref_slots(
+            heap, parsed.addrs[keep], parsed.kids[keep],
+            parsed.lengths[keep])
+        layout = heap.layout
+        young = ((batch.targets != 0)
+                 & (batch.targets >= layout.eden.start)
+                 & (batch.targets < layout.survivor_b.end))
+        card_table.dirty_slots(batch.slots[np.flatnonzero(young)])

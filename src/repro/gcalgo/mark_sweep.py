@@ -16,11 +16,14 @@ discusses in Sec. 4.6 are out of scope, as they are for Charon itself.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Set, Tuple
+
+import numpy as np
 
 from repro.gcalgo.stack import ObjectStack
 from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                RESIDUAL_COSTS, chunk_refs)
+from repro.heap import fast_kernels
 from repro.heap.heap import JavaHeap
 from repro.obs.tracer import get_tracer
 from repro.units import CACHE_LINE
@@ -36,14 +39,21 @@ class MarkSweepGC:
 
     def collect(self) -> GCTrace:
         obs = get_tracer()
+        fast = fast_kernels.fast_enabled(self.heap)
+        fast_kernels.record_call("sweep",
+                                 kernel="fast" if fast else "scalar")
         trace = GCTrace("sweep", heap_bytes=self.heap.config.heap_bytes)
         trace.residual("setup", FIXED_GC_INSTRUCTIONS["sweep"],
                        64 * 1024)
         with obs.span("collect", cat="collector", gc="sweep"):
             with obs.span("mark", cat="collector", gc="sweep"):
-                marked = self._mark(trace)
+                marked = (self._mark_fast(trace) if fast
+                          else self._mark(trace))
             with obs.span("sweep", cat="collector", gc="sweep"):
-                self._sweep(trace, marked)
+                if fast:
+                    self._sweep_fast(trace, marked)
+                else:
+                    self._sweep(trace, marked)
         return trace
 
     def _mark(self, trace: GCTrace) -> set:
@@ -97,6 +107,79 @@ class MarkSweepGC:
                     self._reclaim(trace, dead_start, view.addr)
                     dead_start = None
             cursor = end
+        if dead_start is not None:
+            self._reclaim(trace, dead_start, old.top)
+
+    # -- fast-path phases ---------------------------------------------------
+
+    def _mark_fast(self, trace: GCTrace) -> Set[int]:
+        """The scalar traversal with raw-word header decode."""
+        heap = self.heap
+        ops = fast_kernels.HeapOps(heap)
+        stack: ObjectStack[int] = ObjectStack()
+        marked: Set[int] = set()
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("mark", RESIDUAL_COSTS["root"] * n_roots,
+                           CACHE_LINE * n_roots)
+        for addr in heap.roots:
+            if addr and addr not in marked:
+                marked.add(addr)
+                stack.push(addr)
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        trivial_cost = RESIDUAL_COSTS["scan_trivial"]
+        while stack:
+            addr = stack.pop()
+            trace.residual("mark", pop_cost)
+            kid, length, _ = ops.decode(addr)
+            trace.objects_visited += 1
+            slots = ops.ref_slots(addr, kid, length)
+            if slots:
+                trace.residual("mark", check_cost * len(slots))
+                pushes = 0
+                for slot in slots:
+                    target = ops.read_word(slot)
+                    if target and target not in marked:
+                        marked.add(target)
+                        stack.push(target)
+                        pushes += 1
+                for refs, chunk_pushes in chunk_refs(len(slots),
+                                                     pushes):
+                    trace.scan_push("mark", addr, refs, chunk_pushes)
+            else:
+                trace.residual("mark", trivial_cost)
+        return marked
+
+    def _sweep_fast(self, trace: GCTrace, marked: Set[int]) -> None:
+        """One parse pass plus a vectorized dead mask, then the same
+        coalesced reclaims as the scalar sweep."""
+        heap = self.heap
+        old = heap.layout.old
+        self.free_list = []
+        parsed = fast_kernels.parse_space(heap, old.start, old.top)
+        n_objects = len(parsed)
+        if not n_objects:
+            return
+        trace.residual("sweep",
+                       RESIDUAL_COSTS["sweep_step"] * n_objects,
+                       CACHE_LINE * n_objects)
+        filler = ((parsed.kids == heap.filler_klass.klass_id)
+                  | (parsed.kids == heap.filler_object_klass.klass_id))
+        marked_addrs = np.fromiter(marked, dtype=np.int64,
+                                   count=len(marked)) if marked \
+            else np.empty(0, dtype=np.int64)
+        dead = filler | ~np.isin(parsed.addrs, marked_addrs)
+        addrs = parsed.addrs.tolist()
+        dead_list = dead.tolist()
+        dead_start = None
+        for position in range(n_objects):
+            if dead_list[position]:
+                if dead_start is None:
+                    dead_start = addrs[position]
+            elif dead_start is not None:
+                self._reclaim(trace, dead_start, addrs[position])
+                dead_start = None
         if dead_start is not None:
             self._reclaim(trace, dead_start, old.top)
 

@@ -19,10 +19,13 @@ recording Search / Copy / Scan&Push events and residual work into a
 from __future__ import annotations
 
 
+import numpy as np
+
 from repro.errors import OutOfMemoryError
 from repro.gcalgo.stack import ObjectStack
 from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
                                 RESIDUAL_COSTS, chunk_refs)
+from repro.heap import fast_kernels
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import MarkWord
 from repro.obs.tracer import get_tracer
@@ -62,6 +65,9 @@ class MinorGC:
         heap = self.heap
         layout = heap.layout
         obs = get_tracer()
+        fast = fast_kernels.fast_enabled(heap)
+        fast_kernels.record_call("minor",
+                                 kernel="fast" if fast else "scalar")
         trace = GCTrace("minor", heap_bytes=heap.config.heap_bytes)
         stack: ObjectStack[int] = ObjectStack()
         # Fixed collection overheads: VM-op setup, thread-stack roots,
@@ -81,35 +87,20 @@ class MinorGC:
             # Step 2: Search the card table, then collect old slots on
             # dirty cards that hold young references.
             with obs.span("card-search", cat="collector", gc="minor"):
-                self._card_search(trace, stack)
+                if fast:
+                    self._card_search_fast(trace, stack)
+                else:
+                    self._card_search(trace, stack)
 
             # Step 3: drain.
-            eden, from_space = layout.eden, layout.survivor_from
             with obs.span("drain", cat="collector", gc="minor"):
-                while stack:
-                    slot = stack.pop()
-                    trace.residual("drain", RESIDUAL_COSTS["pop"])
-                    ref = self._read_slot(slot)
-                    if ref == 0:
-                        continue
-                    if not (eden.contains(ref)
-                            or from_space.contains(ref)):
-                        # null, old, or already-evacuated To-space object
-                        continue
-                    mark = heap.mark_word(ref)
-                    trace.residual("drain", RESIDUAL_COSTS["check_mark"],
-                                   CACHE_LINE)
-                    if mark.is_forwarded:
-                        new_addr = mark.forwarding_address
-                    else:
-                        new_addr = self._evacuate(ref, mark, trace,
-                                                  stack)
-                        trace.objects_visited += 1
-                    self._write_slot(slot, new_addr)
-                    trace.residual("drain",
-                                   RESIDUAL_COSTS["forward_update"])
+                if fast:
+                    self._drain_fast(trace, stack)
+                else:
+                    self._drain(trace, stack)
 
             # Step 4: clean up and swap semispaces (Fig. 1).
+            eden, from_space = layout.eden, layout.survivor_from
             with obs.span("cleanup", cat="collector", gc="minor"):
                 freed = eden.used + from_space.used - trace.bytes_copied
                 trace.bytes_freed = max(0, freed)
@@ -117,6 +108,69 @@ class MinorGC:
                 from_space.reset()
                 layout.swap_survivors()
         return trace
+
+    def _drain(self, trace: GCTrace, stack: ObjectStack) -> None:
+        """Scalar drain loop (the oracle path)."""
+        heap = self.heap
+        eden = heap.layout.eden
+        from_space = heap.layout.survivor_from
+        while stack:
+            slot = stack.pop()
+            trace.residual("drain", RESIDUAL_COSTS["pop"])
+            ref = self._read_slot(slot)
+            if ref == 0:
+                continue
+            if not (eden.contains(ref)
+                    or from_space.contains(ref)):
+                # null, old, or already-evacuated To-space object
+                continue
+            mark = heap.mark_word(ref)
+            trace.residual("drain", RESIDUAL_COSTS["check_mark"],
+                           CACHE_LINE)
+            if mark.is_forwarded:
+                new_addr = mark.forwarding_address
+            else:
+                new_addr = self._evacuate(ref, mark, trace,
+                                          stack)
+                trace.objects_visited += 1
+            self._write_slot(slot, new_addr)
+            trace.residual("drain",
+                           RESIDUAL_COSTS["forward_update"])
+
+    def _drain_fast(self, trace: GCTrace, stack: ObjectStack) -> None:
+        """Drain with raw-word decode — same loop, O(1) per step."""
+        heap = self.heap
+        layout = heap.layout
+        ops = fast_kernels.HeapOps(heap)
+        roots = heap.roots
+        eden, from_space = layout.eden, layout.survivor_from
+        e_lo, e_hi = eden.start, eden.end
+        f_lo, f_hi = from_space.start, from_space.end
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        forward_cost = RESIDUAL_COSTS["forward_update"]
+        while stack:
+            slot = stack.pop()
+            trace.residual("drain", pop_cost)
+            ref = roots[-slot - 1] if slot < 0 else ops.read_word(slot)
+            if ref == 0:
+                continue
+            if not (e_lo <= ref < e_hi or f_lo <= ref < f_hi):
+                # null, old, or already-evacuated To-space object
+                continue
+            mark = MarkWord(ops.read_word(ref))
+            trace.residual("drain", check_cost, CACHE_LINE)
+            if mark.is_forwarded:
+                new_addr = mark.forwarding_address
+            else:
+                new_addr = self._evacuate_fast(ref, mark, trace, stack,
+                                               ops)
+                trace.objects_visited += 1
+            if slot < 0:
+                roots[-slot - 1] = new_addr
+            else:
+                heap.store_ref(slot, new_addr)
+            trace.residual("drain", forward_cost)
 
     # -- internals ------------------------------------------------------------
 
@@ -157,6 +211,67 @@ class MinorGC:
             else:
                 trace.residual("card-scan",
                                RESIDUAL_COSTS["scan_trivial"])
+
+    def _card_search_fast(self, trace: GCTrace,
+                          stack: ObjectStack) -> None:
+        """Vectorized Search: one pass over cards, batched candidate
+        decode — identical events and pushes to :meth:`_card_search`."""
+        heap = self.heap
+        card_table = heap.card_table
+        for table_addr, n_cards, found in \
+                fast_kernels.search_blocks_fast(card_table):
+            trace.search("card-search", table_addr, n_cards, found)
+        dirty_indices = card_table.dirty_card_indices()
+        card_table.clear()
+        n_dirty = int(dirty_indices.shape[0])
+        if not n_dirty:
+            return
+        trace.residual("card-scan",
+                       RESIDUAL_COSTS["card_lookup"] * n_dirty,
+                       CACHE_LINE * n_dirty)
+        old = heap.layout.old
+        parsed = fast_kernels.parse_space(heap, old.start, old.top)
+        if not len(parsed):
+            return
+        not_filler = ((parsed.kids != heap.filler_klass.klass_id)
+                      & (parsed.kids
+                         != heap.filler_object_klass.klass_id))
+        first = ((parsed.addrs - card_table.covered_start)
+                 // card_table.card_bytes)
+        last = ((parsed.end_addrs - 1 - card_table.covered_start)
+                // card_table.card_bytes)
+        flags = np.zeros(card_table.num_cards, dtype=np.int64)
+        flags[dirty_indices] = 1
+        cum = np.concatenate(([0], np.cumsum(flags)))
+        candidates = np.flatnonzero(
+            not_filler & (cum[last + 1] - cum[first] > 0))
+        if not candidates.shape[0]:
+            return
+        batch = fast_kernels.gather_ref_slots(
+            heap, parsed.addrs[candidates], parsed.kids[candidates],
+            parsed.lengths[candidates])
+        layout = heap.layout
+        young = ((batch.targets != 0)
+                 & (batch.targets >= layout.eden.start)
+                 & (batch.targets < layout.survivor_b.end))
+        # Flattened slot order equals the scalar per-object push order.
+        for slot in batch.slots[np.flatnonzero(young)].tolist():
+            stack.push(slot)
+        push_cum = np.concatenate(
+            ([0], np.cumsum(young.astype(np.int64))))
+        seg = np.concatenate(([0], np.cumsum(batch.counts)))
+        counts = batch.counts.tolist()
+        addrs = parsed.addrs[candidates].tolist()
+        for index, addr in enumerate(addrs):
+            n_slots = counts[index]
+            if not n_slots:
+                trace.residual("card-scan",
+                               RESIDUAL_COSTS["scan_trivial"])
+                continue
+            pushes = int(push_cum[seg[index + 1]]
+                         - push_cum[seg[index]])
+            for refs, chunk_pushes in chunk_refs(n_slots, pushes):
+                trace.scan_push("card-scan", addr, refs, chunk_pushes)
 
     def _read_slot(self, slot: int) -> int:
         if slot < 0:
@@ -217,4 +332,47 @@ class MinorGC:
         # A promoted object whose young references have not been updated
         # yet keeps its card dirty through the write barrier when the
         # drain updates each pushed slot.
+        return dst
+
+    def _evacuate_fast(self, addr: int, mark: MarkWord, trace: GCTrace,
+                       stack: ObjectStack,
+                       ops: "fast_kernels.HeapOps") -> int:
+        """:meth:`_evacuate` with raw-word header decode."""
+        heap = self.heap
+        layout = heap.layout
+        kid, length, size = ops.decode(addr)
+        age = min(mark.age + 1, 15)
+        promote = age >= self.tenuring_threshold
+        if not promote and not layout.survivor_to.can_allocate(size):
+            promote = True  # survivor overflow promotes early
+        if promote:
+            dst = layout.old.allocate(size)
+            new_mark = MarkWord.fresh()
+            trace.objects_promoted += 1
+        else:
+            dst = layout.survivor_to.allocate(size)
+            new_mark = MarkWord.fresh().with_age(age)
+        trace.residual("drain", RESIDUAL_COSTS["allocate"])
+
+        heap.copy_bytes(addr, dst, size)
+        trace.copy("evacuate", addr, dst, size)
+        trace.objects_copied += 1
+        trace.bytes_copied += size
+        ops.write_word(dst, new_mark.raw)
+        ops.write_word(addr, mark.forwarded_to(dst).raw)
+
+        slots = ops.ref_slots(dst, kid, length)
+        pushes = 0
+        young_lo, young_hi = layout.eden.start, layout.survivor_b.end
+        for slot in slots:
+            target = ops.read_word(slot)
+            if target and young_lo <= target < young_hi:
+                stack.push(slot)
+                pushes += 1
+                trace.residual("drain", RESIDUAL_COSTS["push"])
+        if slots:
+            for refs, chunk_pushes in chunk_refs(len(slots), pushes):
+                trace.scan_push("evacuate", dst, refs, chunk_pushes)
+        else:
+            trace.residual("drain", RESIDUAL_COSTS["scan_trivial"])
         return dst

@@ -69,6 +69,18 @@ class CardTable:
     def clear_card(self, index: int) -> None:
         self.bytes[index] = CLEAN
 
+    def dirty_slots(self, slot_addrs: np.ndarray) -> None:
+        """Dirty the cards of a batch of slot addresses at once.
+
+        Equivalent to calling :meth:`dirty` per address (duplicates are
+        fine — the store is idempotent); used by the vectorized
+        card-rebuild kernels.
+        """
+        if len(slot_addrs) == 0:
+            return
+        indices = (slot_addrs - self.covered_start) // self.card_bytes
+        self.bytes[indices] = DIRTY
+
     def dirty_card_indices(self) -> np.ndarray:
         return np.flatnonzero(self.bytes != CLEAN)
 

@@ -120,6 +120,9 @@ class KlassTable:
         self._by_id: Dict[int, KlassDescriptor] = {}
         self._by_name: Dict[str, KlassDescriptor] = {}
         self._next_id = 1
+        #: bumped on every :meth:`define`; layout-table caches (the fast
+        #: heap kernels) key on ``(table, version)`` to stay coherent.
+        self.version = 0
 
     def define(self, name: str, kind: KlassKind, field_words: int = 0,
                ref_offsets: Sequence[int] = ()) -> KlassDescriptor:
@@ -132,6 +135,7 @@ class KlassTable:
         self._by_id[descriptor.klass_id] = descriptor
         self._by_name[name] = descriptor
         self._next_id += 1
+        self.version += 1
         return descriptor
 
     def define_instance(self, name: str, ref_fields: int,

@@ -21,13 +21,14 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from repro.core.bitmap_math import popcount_int
 from repro.errors import ConfigError
 from repro.units import WORD
 
 
 def _popcount(value: int) -> int:
-    """Set-bit count of a non-negative int (3.9-compatible)."""
-    return bin(value).count("1")
+    """Set-bit count of a non-negative int (shared 16-bit LUT)."""
+    return popcount_int(value)
 
 
 class MarkBitmaps:
@@ -95,6 +96,34 @@ class MarkBitmaps:
     def clear(self) -> None:
         self.beg[:] = 0
         self.end[:] = 0
+
+    def clear_range(self, start_addr: int, end_addr: int) -> None:
+        """Clear both bitmaps over ``[start_addr, end_addr)``.
+
+        Whole 64-bit words are zeroed with one slice store; the partial
+        words at the boundaries are AND-masked — the bulk analogue of
+        clearing the bits one at a time.
+        """
+        if end_addr <= start_addr:
+            return
+        first = self.bit_index(start_addr)
+        last = (min(end_addr, self.covered_end)
+                - self.covered_start) // WORD
+        lo_word, lo_bit = first >> 6, first & 63
+        hi_word, hi_bit = last >> 6, last & 63
+        for array in (self.beg, self.end):
+            if lo_word == hi_word:
+                keep = ~(((1 << (hi_bit - lo_bit)) - 1) << lo_bit)
+                array[lo_word] &= np.uint64(keep & (2**64 - 1))
+                continue
+            if lo_bit:
+                array[lo_word] &= np.uint64((1 << lo_bit) - 1)
+            else:
+                array[lo_word] = 0
+            array[lo_word + 1:hi_word] = 0
+            if hi_bit:
+                array[hi_word] &= np.uint64(
+                    (~((1 << hi_bit) - 1)) & (2**64 - 1))
 
     # -- queries ---------------------------------------------------------------
 

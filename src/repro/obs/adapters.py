@@ -82,6 +82,30 @@ def replay_kernel_metrics(registry: MetricsRegistry) -> None:
                            **labels).set(sample["value"])
 
 
+def heap_kernel_metrics(registry: MetricsRegistry) -> None:
+    """Mirror the process-wide ``heap.kernel*`` rows into ``registry``.
+
+    The functional-layer fast kernels count their calls, batch sizes,
+    and scalar fallbacks in the *global* registry (see
+    :mod:`repro.heap.fast_kernels`); this copies those rows into a
+    per-command snapshot so ``repro stats`` shows which heap kernels
+    produced the traces, mirroring ``replay.kernel_*``.
+    """
+    from repro.obs.metrics import global_metrics
+
+    for sample in global_metrics().samples():
+        name = sample["metric"]
+        if not name.startswith("heap.kernel"):
+            continue
+        labels = sample["labels"]
+        if sample["kind"] == "counter":
+            registry.counter(name, "mirrored heap-kernel counter",
+                             **labels).add(sample["value"])
+        elif sample["kind"] == "gauge":
+            registry.gauge(name, "mirrored heap-kernel gauge",
+                           **labels).set(sample["value"])
+
+
 def timing_metrics(registry: MetricsRegistry, result: "GCTimingResult",
                    workload: str) -> None:
     """Record one replay result as labeled ``replay.*`` metrics."""

@@ -27,6 +27,7 @@ from repro.gcalgo.mark_compact import MajorGC
 from repro.gcalgo.mark_sweep import MarkSweepGC
 from repro.gcalgo.parallel_scavenge import MinorGC
 from repro.gcalgo.trace import GCTrace
+from repro.heap import fast_kernels
 from repro.heap.heap import JavaHeap
 from repro.heap.object_model import ObjectView
 from repro.units import align_up
@@ -156,6 +157,57 @@ class MutatorDriver:
                 else:
                     raise
         raise OutOfMemoryError("allocation failed after full GC")
+
+    def allocate_batch(self, klass_name: str, count: int,
+                       length: Optional[int] = None,
+                       sink: Optional[Callable[[List[int]], None]]
+                       = None) -> int:
+        """Allocate ``count`` identical objects with chunked bumps.
+
+        Each GC-free chunk reserves its objects with one Eden bump and
+        formats them with one
+        :meth:`~repro.heap.heap.JavaHeap.format_object_run` — byte- and
+        trigger-identical to ``count`` :meth:`allocate` calls (a
+        collection happens exactly when Eden cannot fit the next
+        object, between chunks).  ``sink`` receives each chunk's
+        addresses *before* the next chunk can trigger a collection, so
+        it must anchor them (handles or heap stores) before returning.
+        """
+        if count <= 0:
+            return 0
+        heap = self.heap
+        klass = heap.klasses.by_name(klass_name)
+        size = align_up(klass.instance_bytes(length), 8)
+        eden = heap.layout.eden
+        large = size > eden.capacity // self.LARGE_OBJECT_EDEN_FRACTION
+        if large or not fast_kernels.fast_enabled(heap):
+            for _ in range(count):
+                view = self.allocate(klass_name, length=length)
+                if sink is not None:
+                    sink([view.addr])
+            return count
+        remaining = count
+        while remaining:
+            chunk = min(remaining, eden.fits_count(size))
+            if chunk == 0:
+                # Eden tail full: the single-object slow path triggers
+                # the collection exactly where the plain loop would.
+                view = self.allocate(klass_name, length=length)
+                if sink is not None:
+                    sink([view.addr])
+                remaining -= 1
+                continue
+            fast_kernels.record_call("alloc", items=chunk)
+            start = eden.allocate_many(size, chunk)
+            heap.format_object_run(start, chunk, klass, length)
+            heap.allocated_objects += chunk
+            heap.allocated_bytes += size * chunk
+            self.run.allocated_objects += chunk
+            self.run.allocated_bytes += size * chunk
+            if sink is not None:
+                sink(list(range(start, start + size * chunk, size)))
+            remaining -= chunk
+        return count
 
     # -- collections ----------------------------------------------------------------
 

@@ -44,9 +44,19 @@ class SparkWorkload(Workload):
         heap = driver.heap
         self.cache = driver.handle(
             driver.allocate("objArray", self.cached_partitions).addr)
-        for index in range(self.cached_partitions):
-            partition = driver.allocate("typeArray", self.partition_bytes)
-            heap.array_store(self.cache.addr, index, partition.addr)
+        cursor = 0
+
+        def store_partitions(addrs: list) -> None:
+            # Anchor each chunk into the cache before the next chunk
+            # can trigger a (moving) collection.
+            nonlocal cursor
+            for addr in addrs:
+                heap.array_store(self.cache.addr, cursor, addr)
+                cursor += 1
+
+        driver.allocate_batch("typeArray", self.cached_partitions,
+                              length=self.partition_bytes,
+                              sink=store_partitions)
         self.model = driver.handle(
             driver.allocate("objArray", self.model_capacity).addr)
         self._model_cursor = 0
