@@ -47,13 +47,15 @@ def main() -> int:
     from repro.platform.fast_replay import (FastTraceReplayer,
                                             make_replayer)
 
-    from tests.conftest import (TinySpark, make_g1_traces,
-                                make_mixed_run, platform_for)
+    from tests.conftest import (TinySpark, make_concurrent_traces,
+                                make_g1_traces, make_mixed_run,
+                                platform_for)
 
     trace_sets = {
         "spark-bs": TinySpark().run().traces,
         "mixed": make_mixed_run().traces,
         "g1": make_g1_traces(),
+        "concurrent": make_concurrent_traces(),
     }
     compiled_sets = {name: compile_traces(traces)
                      for name, traces in trace_sets.items()}
@@ -70,7 +72,8 @@ def main() -> int:
             labels = sample["labels"]
             if labels.get("kernel") == "fast":
                 fast_calls += sample["value"]
-            elif labels.get("op") in ("minor", "major", "sweep", "g1"):
+            elif labels.get("op") in ("minor", "major", "sweep", "g1",
+                                      "concurrent"):
                 scalar_collects.append(
                     f"{labels['op']} x{sample['value']:.0f}")
         elif metric == "heap.kernel_fallbacks":

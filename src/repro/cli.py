@@ -189,14 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
                      "oracle")
     fuzz.add_argument("--seed", type=int, default=0,
                       help="first seed (default 0)")
-    fuzz.add_argument("--iterations", type=int, default=25,
+    fuzz.add_argument("--iterations", "--seeds", type=int, default=25,
+                      dest="iterations",
                       help="number of consecutive seeds to run")
     fuzz.add_argument("--collector", action="append", default=None,
-                      choices=["minor", "major", "sweep", "g1"],
+                      choices=["minor", "major", "sweep", "g1",
+                               "concurrent", "all"],
                       help="restrict to one collector (repeatable; "
-                           "default: all four, cross-checked)")
+                           "'all' or default: every mode, "
+                           "cross-checked)")
     fuzz.add_argument("--ops", type=int, default=None,
                       help="schedule length override")
+    fuzz.add_argument("--min-step-coverage", type=float, default=0.0,
+                      help="fail unless every collector executed at "
+                           "least this fraction of its applicable "
+                           "schedule steps (e.g. 0.9)")
+    fuzz.add_argument("--replay", default=None, metavar="PATH",
+                      help="replay a JSON reproducer instead of "
+                           "generating schedules")
     fuzz.add_argument("--kernels", action="store_true",
                       help="compare scalar vs fast heap kernels "
                            "instead of cross-collector live graphs: "
@@ -447,19 +457,56 @@ def _cmd_fuzz(args) -> int:
     config = default_fuzz_config()
     if args.ops:
         config = config.with_ops(args.ops)
-    collectors = tuple(args.collector) if args.collector \
-        else config.collectors
+    collectors = config.collectors
+    if args.collector and "all" not in args.collector:
+        collectors = tuple(args.collector)
+    if args.replay:
+        from repro.errors import ReproError
+        from repro.fuzz.shrink import replay_reproducer
+        try:
+            results = replay_reproducer(args.replay, config)
+        except ReproError as error:
+            print(f"fuzz: FAIL — reproducer {args.replay} still "
+                  f"fails: {error}")
+            return 1
+        print(f"fuzz: ok — reproducer {args.replay} passes under "
+              f"{len(results)} collector(s)")
+        return 0
     run_one = compare_kernel_modes if args.kernels else fuzz_seed
     failures = 0
     infeasible = 0
     checked = 0
+    executed_total = 0
+    applicable_total = 0
     for seed in range(args.seed, args.seed + args.iterations):
         result = run_one(seed, config, collectors)
         if result.status == "ok":
             checked += result.collections_checked
+            coverage_note = ""
+            counts = getattr(result, "step_counts", None)
+            if counts:
+                executed = sum(e for e, _ in counts.values())
+                applicable = sum(a for _, a in counts.values())
+                executed_total += executed
+                applicable_total += applicable
+                coverage_note = (f", steps {executed}/{applicable} "
+                                 f"({result.step_coverage:.0%} worst)")
+                if result.step_coverage < args.min_step_coverage:
+                    failures += 1
+                    worst = min(
+                        counts,
+                        key=lambda n: (counts[n][0] / counts[n][1]
+                                       if counts[n][1] else 1.0))
+                    print(f"seed {seed}: FAILED [coverage] "
+                          f"{worst} executed "
+                          f"{counts[worst][0]}/{counts[worst][1]} "
+                          f"schedule steps, below "
+                          f"{args.min_step_coverage:.0%}")
+                    continue
             print(f"seed {seed}: ok ({result.ops} ops, "
                   f"{result.collections_checked} collections checked, "
-                  f"{result.live_objects} live objects)")
+                  f"{result.live_objects} live objects"
+                  f"{coverage_note})")
             continue
         if result.status == "infeasible":
             infeasible += 1
@@ -480,10 +527,15 @@ def _cmd_fuzz(args) -> int:
                   f"{len(minimized)} ops; reproducer written to "
                   f"{path}")
     verdict = "FAIL" if failures else "ok"
+    coverage_line = ""
+    if applicable_total:
+        coverage_line = (f", {executed_total}/{applicable_total} "
+                         f"schedule steps executed "
+                         f"({executed_total / applicable_total:.0%})")
     print(f"fuzz: {verdict} — {args.iterations} seeds on "
           f"{'+'.join(collectors)}, {failures} failed, "
           f"{infeasible} infeasible, {checked} collections "
-          f"oracle-checked")
+          f"oracle-checked{coverage_line}")
     return 1 if failures else 0
 
 

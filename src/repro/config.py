@@ -307,8 +307,22 @@ class FuzzConfig:
     max_payload_bytes: int = 256
     #: probability an op is an explicit collection.
     gc_probability: float = 0.05
+    #: probability an op is a ``mark_step`` — one bounded increment of
+    #: the concurrent collector's marking, interleaved mid-schedule.
+    #: Stop-the-world backends treat it as a no-op, so the same
+    #: schedule stays valid (and shrinkable) under every collector.
+    mark_step_probability: float = 0.08
+    #: objects one fuzz ``mark_step`` scans before yielding.  Kept
+    #: well below the typical fuzz live set (~30 objects) so marking
+    #: stays *incremental*: most of the graph is still unscanned when
+    #: the mutation ops between pauses run, which is the window the
+    #: hidden-pointer (``move`` + ``unlink``) races need.  At 24 a
+    #: single pause swallowed the whole graph and a collector with its
+    #: write barrier deleted outright still fuzzed clean.
+    mark_step_budget: int = 6
     #: collector modes the differential runner cross-checks.
-    collectors: Tuple[str, ...] = ("minor", "major", "sweep", "g1")
+    collectors: Tuple[str, ...] = ("minor", "major", "sweep", "g1",
+                                   "concurrent")
     #: greedy passes of the schedule shrinker after prefix bisection.
     shrink_rounds: int = 4
 
@@ -320,8 +334,15 @@ class FuzzConfig:
         if self.live_byte_budget >= self.heap_bytes:
             raise ConfigError("live-byte budget must be below the heap "
                               "size")
+        if not 0 <= self.gc_probability + self.mark_step_probability \
+                <= 0.19:
+            raise ConfigError("gc + mark_step probability must leave "
+                              "room for the other op classes")
+        if self.mark_step_budget < 1:
+            raise ConfigError("mark_step budget must be positive")
         for name in self.collectors:
-            if name not in ("minor", "major", "sweep", "g1"):
+            if name not in ("minor", "major", "sweep", "g1",
+                            "concurrent"):
                 raise ConfigError(f"unknown fuzz collector {name!r}")
 
     def with_heap_bytes(self, heap_bytes: int) -> "FuzzConfig":

@@ -69,7 +69,7 @@ class ScanPushUnit(ProcessingUnit):
         # Dependent actions ride behind the last responses, pipelined
         # one per cycle; marking adds a bitmap-cache RMW per push.
         finish = load_finish + pushes * ctx.unit_cycle_s
-        marking = gc_kind in ("major", "g1")
+        marking = gc_kind in ("major", "g1", "concurrent")
         if marking and pushes and bitmap_covered_bytes > 0:
             # The trace does not record each referee address, so their
             # bitmap lines are synthesised deterministically: newly

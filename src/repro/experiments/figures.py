@@ -19,9 +19,9 @@ from repro.heap.heap import JavaHeap
 from repro.platform import TraceReplayer, build_platform
 from repro.units import align_up, geomean
 from repro.workloads.base import workload_klasses
-from repro.workloads.registry import WORKLOAD_ABBREV, WORKLOAD_NAMES
+from repro.workloads.registry import TABLE3_WORKLOADS, WORKLOAD_ABBREV
 
-ALL_WORKLOADS: Sequence[str] = WORKLOAD_NAMES
+ALL_WORKLOADS: Sequence[str] = TABLE3_WORKLOADS
 
 #: The four platforms of Fig. 12, in the paper's bar order.
 FIG12_PLATFORMS = ("cpu-ddr4", "cpu-hmc", "charon", "ideal")

@@ -23,7 +23,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
-                          default_replay_config, scaled_heap_bytes)
+                          default_replay_config)
 from repro.errors import OutOfMemoryError
 from repro.experiments import trace_cache
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
@@ -35,7 +35,7 @@ from repro.obs.tracer import get_tracer
 from repro.platform import build_platform
 from repro.platform.fast_replay import FastTraceReplayer, make_replayer
 from repro.platform.timing import GCTimingResult
-from repro.workloads import run_workload
+from repro.workloads import get_workload, run_workload
 from repro.workloads.base import workload_klasses
 from repro.workloads.mutator import WorkloadRun
 
@@ -44,10 +44,20 @@ _COMPILED_CACHE: Dict[Tuple[str, int], List[CompiledTrace]] = {}
 _REPLAY_CACHE: Dict[tuple, GCTimingResult] = {}
 
 
+def default_heap_bytes(name: str) -> int:
+    """The registered workload's default heap size.
+
+    For the Table 3 applications this is the paper heap scaled by
+    1/256; synthetic workloads (like ``concurrent-mark``) declare
+    their own sizes, which ``scaled_heap_bytes`` knows nothing about.
+    """
+    return get_workload(name).default_heap_bytes
+
+
 def workload_config(name: str,
                     heap_bytes: Optional[int] = None) -> SystemConfig:
     """The Table 2 system configuration sized for ``name``'s heap."""
-    resolved = heap_bytes or scaled_heap_bytes(name)
+    resolved = heap_bytes or default_heap_bytes(name)
     return default_config().with_heap_bytes(resolved)
 
 
@@ -60,7 +70,7 @@ def collect_run(name: str,
     ``REPRO_TRACE_CACHE`` names a directory, on disk through the
     content-addressed trace cache.
     """
-    resolved = heap_bytes or scaled_heap_bytes(name)
+    resolved = heap_bytes or default_heap_bytes(name)
     key = (name, resolved)
     if key not in _RUN_CACHE:
         config = workload_config(name, resolved)
@@ -85,7 +95,7 @@ def compiled_run_traces(name: str,
                         heap_bytes: Optional[int] = None
                         ) -> List[CompiledTrace]:
     """A workload run's traces in columnar form (compiled once)."""
-    resolved = heap_bytes or scaled_heap_bytes(name)
+    resolved = heap_bytes or default_heap_bytes(name)
     key = (name, resolved)
     if key not in _COMPILED_CACHE:
         run = collect_run(name, resolved)
@@ -233,7 +243,7 @@ def find_min_heap(name: str, granularity_fraction: float = 0.125,
     Searches between ``lower_fraction`` and 1.0 of the Table 3 heap by
     bisection at ``granularity_fraction`` steps.
     """
-    default_bytes = scaled_heap_bytes(name)
+    default_bytes = default_heap_bytes(name)
     granularity = max(1 << 20, int(default_bytes * granularity_fraction))
 
     def survives(heap_bytes: int) -> bool:

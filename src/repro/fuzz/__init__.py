@@ -15,8 +15,12 @@ unbounded scenario coverage:
   collection and asserts it is isomorphic afterwards, plus the
   ``GCTrace`` conservation laws;
 * :mod:`repro.fuzz.executor` — replays one schedule against one
-  collector backend (scavenge-only, mark-compact, mark-sweep, or G1)
-  with the oracle hooked around every collection;
+  collector backend (scavenge-only, mark-compact, mark-sweep, G1, or
+  the SATB concurrent-marking collector) with the oracle hooked
+  around every collection; schedules carry ``mark_step`` ops that
+  advance the concurrent collector's marking mid-schedule (no-ops
+  elsewhere), and every backend reports how many schedule steps it
+  actually executed;
 * :mod:`repro.fuzz.differential` — runs the same schedule under every
   collector and cross-checks the surviving live sets;
 * :mod:`repro.fuzz.shrink` — minimizes a failing schedule and writes a
@@ -28,9 +32,10 @@ Entry point: ``python -m repro fuzz --seed N --iterations K``.
 from repro.fuzz.differential import (SeedResult, fuzz_seed,
                                      run_schedule)
 from repro.fuzz.generator import FuzzOp, build_schedule
-from repro.fuzz.oracle import (GCOracle, LiveSnapshot,
+from repro.fuzz.oracle import (GCOracle, LiveSnapshot, SATBOracle,
                                assert_isomorphic,
-                               check_trace_conservation, snapshot_live)
+                               check_trace_conservation,
+                               reachable_addresses, snapshot_live)
 from repro.fuzz.shrink import (load_reproducer, replay_reproducer,
                                shrink_schedule, write_reproducer)
 
@@ -44,8 +49,10 @@ __all__ = [
     "check_trace_conservation",
     "fuzz_seed",
     "load_reproducer",
+    "reachable_addresses",
     "replay_reproducer",
     "run_schedule",
+    "SATBOracle",
     "shrink_schedule",
     "snapshot_live",
     "write_reproducer",

@@ -53,10 +53,21 @@ class SeedResult:
     live_objects: int = 0
     failure: Optional[FuzzFailure] = None
     detail: str = ""
+    #: per-collector ``(steps executed, steps applicable)`` — how much
+    #: of the generated schedule each backend actually exercised.
+    step_counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def step_coverage(self) -> float:
+        """Worst per-collector coverage ratio (1.0 when nothing ran)."""
+        ratios = [executed / applicable
+                  for executed, applicable in self.step_counts.values()
+                  if applicable]
+        return min(ratios) if ratios else 1.0
 
 
 def run_schedule(ops: Sequence[FuzzOp], collector: str,
@@ -179,6 +190,7 @@ def compare_kernel_modes(seed: int,
     ops = build_schedule(seed, config)
     collections = 0
     live_objects = 0
+    step_counts: Dict[str, Tuple[int, int]] = {}
     for name in collectors:
         try:
             scalar = run_schedule(ops, name, config, use_oracle=False,
@@ -205,9 +217,12 @@ def compare_kernel_modes(seed: int,
                                     message=str(error), ops=ops))
         collections += len(scalar.traces)
         live_objects = scalar.live_objects
+        step_counts[name] = (scalar.steps_executed,
+                             scalar.steps_applicable)
     return SeedResult(seed=seed, status="ok", collectors=collectors,
                       ops=len(ops), collections_checked=collections,
-                      live_objects=live_objects)
+                      live_objects=live_objects,
+                      step_counts=step_counts)
 
 
 def run_seed(seed: int, config: Optional[FuzzConfig] = None,
@@ -249,7 +264,10 @@ def run_seed(seed: int, config: Optional[FuzzConfig] = None,
     any_result = results[collectors[0]]
     return SeedResult(seed=seed, status="ok", collectors=collectors,
                       ops=len(ops), collections_checked=checked,
-                      live_objects=any_result.live_objects)
+                      live_objects=any_result.live_objects,
+                      step_counts={
+                          name: (r.steps_executed, r.steps_applicable)
+                          for name, r in results.items()})
 
 
 #: Backwards-friendly alias: a "fuzz" of one seed is one differential run.

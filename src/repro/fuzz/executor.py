@@ -30,7 +30,8 @@ from typing import List, Optional
 from repro.config import FuzzConfig, HeapConfig
 from repro.errors import InfeasibleSchedule, OutOfMemoryError
 from repro.fuzz.generator import FuzzOp
-from repro.fuzz.oracle import GCOracle, snapshot_live
+from repro.fuzz.oracle import GCOracle, SATBOracle, snapshot_live
+from repro.gcalgo.concurrent_mark import ConcurrentMarkGC
 from repro.gcalgo.g1 import G1Collector
 from repro.gcalgo.trace import GCTrace
 from repro.heap.fast_kernels import use_kernel_mode
@@ -39,7 +40,7 @@ from repro.heap.klass import KlassKind
 from repro.workloads.base import workload_klasses
 from repro.workloads.mutator import MutatorDriver
 
-COLLECTOR_MODES = ("minor", "major", "sweep", "g1")
+COLLECTOR_MODES = ("minor", "major", "sweep", "g1", "concurrent")
 
 
 def build_fuzz_heap(config: FuzzConfig) -> JavaHeap:
@@ -50,6 +51,10 @@ def build_fuzz_heap(config: FuzzConfig) -> JavaHeap:
 
 class DriverBackend:
     """Classic-layout backend over the MutatorDriver front-end."""
+
+    #: stop-the-world collectors no-op ``mark_step`` ops, so the same
+    #: schedule (and every shrunk subsequence of it) runs everywhere.
+    supports_mark_step = False
 
     def __init__(self, heap: JavaHeap, mode: str,
                  oracle: Optional[GCOracle]) -> None:
@@ -93,6 +98,8 @@ class DriverBackend:
 class G1Backend:
     """Regional-collector backend (its own allocator and cycle)."""
 
+    supports_mark_step = False
+
     def __init__(self, heap: JavaHeap,
                  oracle: Optional[GCOracle]) -> None:
         self.heap = heap
@@ -116,10 +123,60 @@ class G1Backend:
         return self.collector.traces
 
 
+class ConcurrentBackend:
+    """SATB concurrent-marking backend: the only one whose marking
+    interleaves with the schedule's mutation ops."""
+
+    supports_mark_step = True
+
+    def __init__(self, heap: JavaHeap, oracle: Optional[GCOracle],
+                 satb_oracle: Optional[SATBOracle],
+                 mark_step_budget: int) -> None:
+        self.heap = heap
+        self.collector = ConcurrentMarkGC(heap)
+        self.mark_step_budget = mark_step_budget
+        if oracle is not None:
+            self.collector.pre_collect_hooks.append(oracle.before)
+            self.collector.post_collect_hooks.append(oracle.after)
+        if satb_oracle is not None:
+            self.collector.cycle_start_hooks.append(
+                satb_oracle.cycle_start)
+            self.collector.cycle_end_hooks.append(
+                satb_oracle.cycle_end)
+
+    def allocate(self, klass_name: str, length: Optional[int],
+                 old: bool) -> int:
+        # Like G1, the regional allocator has no separate old space.
+        return self.collector.allocate(klass_name, length=length).addr
+
+    def mark_step(self) -> int:
+        return self.collector.mark_step(self.mark_step_budget)
+
+    def explicit_gc(self) -> GCTrace:
+        return self.collector.collect()
+
+    def finish(self) -> None:
+        # A schedule may end mid-cycle; completing it puts the
+        # trailing cycle under the SATB oracle too, and changes
+        # nothing the differential fingerprint can see (marking and
+        # sweeping never alter the reachable graph).
+        if self.collector.in_cycle:
+            self.collector.collect()
+
+    @property
+    def traces(self) -> List[GCTrace]:
+        return self.collector.traces
+
+
 def make_backend(mode: str, heap: JavaHeap,
-                 oracle: Optional[GCOracle]):
+                 oracle: Optional[GCOracle],
+                 satb_oracle: Optional[SATBOracle] = None,
+                 mark_step_budget: int = 24):
     if mode == "g1":
         return G1Backend(heap, oracle)
+    if mode == "concurrent":
+        return ConcurrentBackend(heap, oracle, satb_oracle,
+                                 mark_step_budget)
     if mode in ("minor", "major", "sweep"):
         return DriverBackend(heap, mode, oracle)
     raise InfeasibleSchedule(f"unknown collector mode {mode!r}")
@@ -141,6 +198,22 @@ class ExecutionResult:
     heap: Optional[JavaHeap] = None
     live_objects: int = 0
     live_bytes: int = 0
+    #: schedule-step coverage: ops that *applied* to this backend
+    #: (``mark_step`` only counts on backends that support it) vs the
+    #: subset that actually changed state — alloc/gc always do; link,
+    #: unlink, payload and release only when their slot held a target
+    #: they could act on.  A schedule full of empty-slot no-ops
+    #: exercises nothing, and this is how that shows up.
+    steps_applicable: int = 0
+    steps_executed: int = 0
+    #: SATB marking cycles the concurrent backend completed.
+    satb_cycles: int = 0
+
+    @property
+    def step_coverage(self) -> float:
+        if not self.steps_applicable:
+            return 1.0
+        return self.steps_executed / self.steps_applicable
 
 
 class ScheduleExecutor:
@@ -158,11 +231,17 @@ class ScheduleExecutor:
         #: or ``"fast"``); ``None`` keeps the process-wide setting.
         self.kernels = kernels
         self.heap = build_fuzz_heap(config)
-        # G1 lays regions over the whole range, so the classic-layout
-        # space walker does not apply there.
-        self.oracle = GCOracle(verify_spaces=(mode != "g1")) \
+        # The regional collectors (G1, concurrent) lay regions over
+        # the whole range, so the classic-layout space walker does not
+        # apply there.
+        self.oracle = GCOracle(
+            verify_spaces=(mode not in ("g1", "concurrent"))) \
             if use_oracle else None
-        self.backend = make_backend(mode, self.heap, self.oracle)
+        self.satb_oracle = SATBOracle() \
+            if use_oracle and mode == "concurrent" else None
+        self.backend = make_backend(
+            mode, self.heap, self.oracle, self.satb_oracle,
+            mark_step_budget=config.mark_step_budget)
         # Schedule slots map 1:1 onto the first ``config.slots`` root
         # table entries; collectors keep them updated like any root.
         self.heap.roots.extend([0] * config.slots)
@@ -172,7 +251,7 @@ class ScheduleExecutor:
     def _slot_addr(self, slot: int) -> int:
         return self.heap.roots[slot]
 
-    def _do_alloc(self, op: FuzzOp, old: bool) -> None:
+    def _do_alloc(self, op: FuzzOp, old: bool) -> bool:
         try:
             addr = self.backend.allocate(op.klass, op.length, old)
         except OutOfMemoryError as error:
@@ -182,33 +261,60 @@ class ScheduleExecutor:
                 f"[{self.mode}] schedule exhausted the heap: "
                 f"{error}") from error
         self.heap.roots[op.slot] = addr
+        return True
 
-    def _do_link(self, op: FuzzOp, target_addr: int) -> None:
+    def _do_link(self, op: FuzzOp, target_addr: int) -> bool:
         src = self._slot_addr(op.slot)
         if src == 0:
-            return
+            return False
         view = self.heap.object_at(src)
         if view.klass.kind is KlassKind.OBJ_ARRAY:
             if not view.length:
-                return
+                return False
             self.heap.array_store(src, op.index % view.length,
                                   target_addr)
-            return
+            return True
         slots = view.reference_slots()
         if not slots:
-            return
+            return False
         self.heap.set_field(view, op.index % len(slots), target_addr)
+        return True
 
-    def _do_payload(self, op: FuzzOp) -> None:
+    def _read_ref(self, addr: int, index: int) -> int:
+        view = self.heap.object_at(addr)
+        if view.klass.kind is KlassKind.OBJ_ARRAY:
+            if not view.length:
+                return 0
+            return self.heap.array_load(addr, index % view.length)
+        slots = view.reference_slots()
+        if not slots:
+            return 0
+        return self.heap.get_field(view, index % len(slots))
+
+    def _do_move(self, op: FuzzOp) -> bool:
+        # Copy src.field[value] into dst.field[index].  The read
+        # happens at replay time, so the copied reference may be one
+        # the roots no longer see — paired with an unlink of the
+        # source field this hides a live pointer from any marker whose
+        # write barrier drops logs.  Copying a null is still a store
+        # (it unlinks the destination field), so the op executes
+        # whenever both slots are populated.
+        src = self._slot_addr(op.target)
+        if src == 0:
+            return False
+        return self._do_link(op, self._read_ref(src, op.value))
+
+    def _do_payload(self, op: FuzzOp) -> bool:
         addr = self._slot_addr(op.slot)
         if addr == 0:
-            return
+            return False
         view = self.heap.object_at(addr)
         if view.klass.kind is not KlassKind.TYPE_ARRAY or not view.length:
-            return
+            return False
         size = min(view.length, self.config.max_payload_bytes)
         pattern = bytes((op.value + i) & 0xFF for i in range(size))
         self.heap.write_payload(view, pattern)
+        return True
 
     # -- execution ---------------------------------------------------------
 
@@ -221,18 +327,35 @@ class ScheduleExecutor:
     def _execute(self, ops: List[FuzzOp]) -> ExecutionResult:
         result = ExecutionResult(collector=self.mode, seed=self.seed,
                                  final_fingerprint="")
+        applicable = 0
+        executed = 0
         for op in ops:
+            if op.kind == "mark_step":
+                # Interleaved-marking ops only mean something to a
+                # concurrent backend; everywhere else they are no-ops
+                # by design (subsequence executability) and count
+                # towards neither side of the coverage ratio.
+                if self.backend.supports_mark_step:
+                    applicable += 1
+                    self.backend.mark_step()
+                    executed += 1
+                continue
+            applicable += 1
             if op.kind == "alloc":
-                self._do_alloc(op, old=False)
+                executed += self._do_alloc(op, old=False)
             elif op.kind in ("alloc_old", "alloc_large"):
-                self._do_alloc(op, old=(op.kind == "alloc_old"))
+                executed += self._do_alloc(
+                    op, old=(op.kind == "alloc_old"))
             elif op.kind == "link":
-                self._do_link(op, self._slot_addr(op.target))
+                executed += self._do_link(op, self._slot_addr(op.target))
             elif op.kind == "unlink":
-                self._do_link(op, 0)
+                executed += self._do_link(op, 0)
+            elif op.kind == "move":
+                executed += self._do_move(op)
             elif op.kind == "payload":
-                self._do_payload(op)
+                executed += self._do_payload(op)
             elif op.kind == "release":
+                executed += self.heap.roots[op.slot] != 0
                 self.heap.roots[op.slot] = 0
             elif op.kind == "gc":
                 try:
@@ -241,10 +364,16 @@ class ScheduleExecutor:
                     raise InfeasibleSchedule(
                         f"[{self.mode}] explicit GC ran out of "
                         f"memory: {error}") from error
+                executed += 1
                 result.gc_fingerprints.append(
                     snapshot_live(self.heap).fingerprint())
             else:
                 raise InfeasibleSchedule(f"unknown op {op.kind!r}")
+        result.steps_applicable = applicable
+        result.steps_executed = executed
+        finish = getattr(self.backend, "finish", None)
+        if finish is not None:
+            finish()
         final = snapshot_live(self.heap)
         result.final_fingerprint = final.fingerprint()
         result.live_objects = len(final.nodes)
@@ -253,4 +382,6 @@ class ScheduleExecutor:
         result.heap = self.heap
         if self.oracle is not None:
             result.collections_checked = self.oracle.collections
+        if self.satb_oracle is not None:
+            result.satb_cycles = self.satb_oracle.cycles
         return result

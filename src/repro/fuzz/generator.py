@@ -18,7 +18,14 @@ The generator deliberately produces the shapes that break collectors:
 * **large objects** spilling Eden (the driver's humongous path / G1's
   contiguous-region path);
 * **garbage** at every age — releases and overwrites throughout, so
-  collections always have something to reclaim.
+  collections always have something to reclaim;
+* **hidden pointers** — a ``move`` copies a reference out of one
+  object's field into another object's field, usually followed by an
+  ``unlink`` of the source field.  Interleaved with ``mark_step`` ops
+  this is exactly the race SATB write barriers exist for: the only
+  path to an object hops from a not-yet-scanned field into an
+  already-scanned one, and without barrier coverage the marker never
+  sees it.
 
 Determinism: the schedule is a pure function of ``(seed, FuzzConfig)``
 through one ``random.Random`` instance; nothing about the heap feeds
@@ -59,6 +66,10 @@ class FuzzOp:
     * ``link`` — store root ``target``'s address into reference slot
       ``index`` of root ``slot``'s object;
     * ``unlink`` — null reference slot ``index`` of root ``slot``;
+    * ``move`` — copy the reference held in slot ``target``'s field
+      ``value`` into reference slot ``index`` of root ``slot`` (a pure
+      heap-to-heap ref copy, read at replay time; copying a null is
+      still a store);
     * ``payload`` — fill root ``slot``'s type-array payload with a
       pattern derived from ``value``;
     * ``release`` — null root ``slot``;
@@ -192,6 +203,31 @@ class ScheduleBuilder:
                                    target=target))
         return True
 
+    def _field_index(self, slot: int) -> int:
+        state = self.slots[slot]
+        if state.klass == "objArray":
+            return self.rng.randrange(state.length)
+        return self.rng.randrange(INSTANCE_KLASSES[state.klass])
+
+    def _emit_move(self) -> bool:
+        """A heap-to-heap ref copy, usually chased by an unlink of the
+        source field — the pointer-hiding pattern concurrent marking's
+        write barrier has to survive."""
+        linkable = [i for i in self._live_slots()
+                    if self.slots[i].klass in _LINKABLE]
+        if not linkable:
+            return False
+        src = self.rng.choice(linkable)
+        src_index = self._field_index(src)
+        dst = self.rng.choice(linkable)
+        self.ops.append(FuzzOp("move", slot=dst,
+                               index=self._field_index(dst),
+                               target=src, value=src_index))
+        if self.rng.random() < 0.7:
+            self.ops.append(FuzzOp("unlink", slot=src,
+                                   index=src_index))
+        return True
+
     def _emit_payload(self) -> bool:
         arrays = [i for i in self._live_slots()
                   if self.slots[i].klass == "typeArray"]
@@ -229,8 +265,11 @@ class ScheduleBuilder:
             elif roll < 0.40 and not over_budget \
                     and self.live_large < config.max_live_large:
                 self._emit_alloc_large()
-            elif roll < 0.63:
+            elif roll < 0.57:
                 if not self._emit_link():
+                    self._emit_alloc(old=False)
+            elif roll < 0.63:
+                if not self._emit_move():
                     self._emit_alloc(old=False)
             elif roll < 0.71:
                 if not self._emit_link(unlink=True):
@@ -240,6 +279,12 @@ class ScheduleBuilder:
                     self._emit_alloc(old=False)
             elif roll < 0.81 + config.gc_probability:
                 self.ops.append(FuzzOp("gc"))
+            elif roll < (0.81 + config.gc_probability
+                         + config.mark_step_probability):
+                # One bounded concurrent-marking increment.  STW
+                # backends no-op this, so the op keeps the "any
+                # subsequence stays executable" shrinker property.
+                self.ops.append(FuzzOp("mark_step"))
             else:
                 if not self._emit_release():
                     self._emit_alloc(old=False)

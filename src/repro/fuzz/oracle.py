@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import HeapError, InvalidObjectError, OracleViolation
-from repro.gcalgo.trace import ARRAY_SCAN_CHUNK, GCTrace, Primitive
+from repro.gcalgo.trace import (ARRAY_SCAN_CHUNK, GCTrace, Primitive,
+                                is_marking_phase)
 from repro.heap.heap import JavaHeap
 from repro.heap.klass import KlassKind
 from repro.units import WORD
@@ -196,11 +197,11 @@ def check_trace_conservation(trace: GCTrace,
                 f"minor: copied {trace.bytes_copied} bytes but the "
                 f"young generation held only "
                 f"{before.young_used_bytes}")
-    elif kind == "sweep":
-        # Mark-sweep never relocates anything.
+    elif kind in ("sweep", "concurrent"):
+        # Mark-sweep and the concurrent cycle never relocate anything.
         if copy_events:
             raise OracleViolation(
-                f"sweep: recorded {len(copy_events)} Copy events; "
+                f"{kind}: recorded {len(copy_events)} Copy events; "
                 f"a non-moving collector must copy nothing")
     elif trace.bytes_copied > before.total_bytes:
         # Compacting collectors relocate only the live (marked) set.
@@ -234,11 +235,11 @@ def check_trace_conservation(trace: GCTrace,
 
     mark_refs = sum(e.refs for e in trace.events
                     if e.primitive is Primitive.SCAN_PUSH
-                    and e.phase == "mark")
+                    and is_marking_phase(e.phase))
     if kind in ("major", "sweep", "g1"):
-        # Marking collectors traverse exactly the reachable set, so
-        # Scan&Push ref totals must equal the snapshot's out-degree sum
-        # and every live object must be visited exactly once.
+        # Stop-the-world marking traverses exactly the reachable set,
+        # so Scan&Push ref totals must equal the snapshot's out-degree
+        # sum and every live object must be visited exactly once.
         if trace.objects_visited != len(before.nodes):
             raise OracleViolation(
                 f"{kind}: marked {trace.objects_visited} objects but "
@@ -246,6 +247,22 @@ def check_trace_conservation(trace: GCTrace,
         if mark_refs != before.total_ref_slots:
             raise OracleViolation(
                 f"{kind}: mark-phase Scan&Push covered {mark_refs} "
+                f"reference slots, live out-degree sum is "
+                f"{before.total_ref_slots}")
+    elif kind == "concurrent":
+        # SATB marking is *relaxed*: everything reachable when the
+        # final-mark pause runs (``before``) must have been visited,
+        # but floating garbage — live at the snapshot, dead by
+        # final-mark — is legitimately visited too.  Hence lower
+        # bounds where the STW collectors get equalities.
+        if trace.objects_visited < len(before.nodes):
+            raise OracleViolation(
+                f"concurrent: marked {trace.objects_visited} objects "
+                f"but the live graph holds {len(before.nodes)} — SATB "
+                f"may over-mark, never under-mark")
+        if mark_refs < before.total_ref_slots:
+            raise OracleViolation(
+                f"concurrent: marking Scan&Push covered {mark_refs} "
                 f"reference slots, live out-degree sum is "
                 f"{before.total_ref_slots}")
     if kind == "minor":
@@ -324,3 +341,97 @@ class GCOracle:
             self.post_verify(heap, kind)
         self.collections += 1
         self.last_snapshot = after
+
+
+def reachable_addresses(heap: JavaHeap) -> set:
+    """The root-reachable object addresses, as raw addresses.
+
+    :func:`snapshot_live` canonicalizes addresses away so snapshots
+    compare across moving collectors; the SATB laws are the opposite
+    case — they talk about *identity over time* ("the objects live at
+    the snapshot"), which only a non-moving collector makes meaningful,
+    and which needs the addresses kept.
+    """
+    seen = set()
+    queue: List[int] = []
+    for root in heap.roots:
+        if root and root not in seen:
+            seen.add(root)
+            queue.append(root)
+    cursor = 0
+    while cursor < len(queue):
+        addr = queue[cursor]
+        cursor += 1
+        try:
+            view = heap.object_at(addr)
+            targets = [heap.load_ref(slot)
+                       for slot in view.reference_slots()]
+        except (InvalidObjectError, HeapError) as error:
+            raise OracleViolation(
+                f"live traversal hit a bad object at {addr:#x}: "
+                f"{error}") from error
+        for target in targets:
+            if target and target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return seen
+
+
+class SATBOracle:
+    """The snapshot-at-the-beginning marking laws, checked per cycle.
+
+    Install :meth:`cycle_start` / :meth:`cycle_end` as a
+    :class:`~repro.gcalgo.concurrent_mark.ConcurrentMarkGC`'s cycle
+    hooks.  At the initial-mark pause it records the reachable address
+    set L0; after the final-mark drain it asserts, against the
+    collector's own marking state:
+
+    * **weak-reachability safety** — everything reachable *now* is
+      marked: the sweep about to run can never free a live object;
+    * **no resurrection** — everything marked was either reachable at
+      the snapshot or allocated during the cycle: marking invents
+      nothing (the complement bounds floating garbage);
+    * **drain completeness** — every reference the write barrier
+      logged was drained, and the buffer is empty: no logged edge can
+      be dropped on the floor between pauses.
+    """
+
+    def __init__(self) -> None:
+        self._snapshot: Optional[set] = None
+        self.cycles = 0
+
+    def cycle_start(self, heap: JavaHeap, collector) -> None:
+        self._snapshot = reachable_addresses(heap)
+
+    def cycle_end(self, heap: JavaHeap, collector) -> None:
+        if self._snapshot is None:
+            raise OracleViolation("SATB cycle-end hook fired without "
+                                  "a matching cycle start")
+        snapshot = self._snapshot
+        self._snapshot = None
+        reachable = reachable_addresses(heap)
+        unmarked = reachable - collector.marked
+        if unmarked:
+            addr = min(unmarked)
+            raise OracleViolation(
+                f"SATB weak-reachability violation: {len(unmarked)} "
+                f"reachable objects unmarked at final-mark (first at "
+                f"{addr:#x}) — the sweep would free live objects")
+        phantom = collector.marked - snapshot \
+            - collector.allocated_during_cycle
+        if phantom:
+            addr = min(phantom)
+            raise OracleViolation(
+                f"SATB resurrection: {len(phantom)} marked objects "
+                f"(first at {addr:#x}) were neither live at the "
+                f"snapshot nor allocated during the cycle")
+        if collector.satb_drained != collector.satb_logged:
+            raise OracleViolation(
+                f"SATB drain incomplete: barrier logged "
+                f"{collector.satb_logged} references but only "
+                f"{collector.satb_drained} were drained")
+        if collector.satb_buffer:
+            raise OracleViolation(
+                f"SATB buffer still holds {len(collector.satb_buffer)} "
+                f"entries after the final-mark drain")
+        self.cycles += 1

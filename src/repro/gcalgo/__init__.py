@@ -14,7 +14,11 @@ Three collectors, all emitting primitive traces for the timing layer:
   does not);
 * :class:`~repro.gcalgo.g1.G1Collector` — a simplified Garbage-First
   regional collector demonstrating the Table 1 G1 row (all four
-  primitives, Bitmap Count "with minor fix" for region liveness).
+  primitives, Bitmap Count "with minor fix" for region liveness);
+* :class:`~repro.gcalgo.concurrent_mark.ConcurrentMarkGC` — a
+  region-based SATB concurrent-marking collector whose cycle
+  interleaves with the mutator (Scan&Push marking and write-barrier
+  drains, Bitmap Count liveness; non-moving, so no Copy/Search).
 """
 
 from repro.gcalgo.trace import GCTrace, Primitive, TraceEvent
@@ -23,6 +27,7 @@ from repro.gcalgo.parallel_scavenge import MinorGC
 from repro.gcalgo.mark_compact import MajorGC
 from repro.gcalgo.mark_sweep import MarkSweepGC
 from repro.gcalgo.g1 import G1Collector
+from repro.gcalgo.concurrent_mark import ConcurrentMarkGC
 from repro.gcalgo.gclog import format_gc_line, format_gc_log
 from repro.gcalgo.trace_io import load_traces, save_traces
 
@@ -35,6 +40,7 @@ __all__ = [
     "MajorGC",
     "MarkSweepGC",
     "G1Collector",
+    "ConcurrentMarkGC",
     "format_gc_line",
     "format_gc_log",
     "load_traces",

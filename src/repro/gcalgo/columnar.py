@@ -80,7 +80,7 @@ class CompiledTrace:
                  phase_names: Sequence[str],
                  residuals: Optional[Dict[str, ResidualWork]] = None,
                  **stats: int) -> None:
-        if kind not in ("minor", "major", "sweep", "g1"):
+        if kind not in ("minor", "major", "sweep", "g1", "concurrent"):
             raise ValueError(f"unknown GC kind {kind!r}")
         if events.dtype != EVENT_DTYPE:
             raise ConfigError(

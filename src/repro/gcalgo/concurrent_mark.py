@@ -1,0 +1,566 @@
+"""A region-based concurrent-marking collector (SATB, non-moving).
+
+The production collectors Charon targets are increasingly concurrent
+(ZGC, Shenandoah, G1's marking cycle), and concurrent traces exercise
+primitive patterns the stop-the-world collectors never produce:
+marking interleaved with mutation, write-barrier traffic, and floating
+garbage.  This collector brings that trace shape onto the existing
+heap/mark-bitmap substrate:
+
+* the heap is carved into fixed-size regions with bump allocation, as
+  in :mod:`repro.gcalgo.g1`, but objects never move — reclamation is a
+  concurrent sweep in the CMS/Shenandoah-sans-evacuation style, so the
+  mutator's addresses stay valid across the whole cycle;
+* marking is **snapshot-at-the-beginning (SATB)**: a short initial-mark
+  pause pushes every root (the snapshot), then :meth:`mark_step`
+  advances the traversal in bounded increments between mutator steps;
+* a **logged write barrier** (:meth:`_barrier`, installed on
+  :attr:`~repro.heap.heap.JavaHeap.ref_write_hooks`) records every
+  overwritten non-null reference while a cycle is live, so destroyed
+  snapshot edges cannot hide objects from the marker; the buffer is
+  drained at the start of each mark pause;
+* objects allocated during the cycle are marked immediately and queued
+  for scanning (allocate-grey), keeping the "everything live at the
+  snapshot survives" invariant checkable: exactly the marked objects
+  are visited, each once;
+* a short **final-mark pause** drains the barrier buffer and the mark
+  stack to completion, then per-region liveness is accounted with one
+  Bitmap Count per region and dead ranges are swept into fillers
+  (fully-dead regions recycle wholesale).
+
+Every pause gets unique phase names (``barrier-<n>``,
+``concurrent-mark-<n>``) so the replayers' per-phase-run residual
+accounting stays exact when the same logical phase recurs across an
+interleaved cycle.
+
+The trace's primitive mix is Scan&Push (marking and barrier drains)
+plus Bitmap Count (liveness) — no Copy (non-moving) and no Search (no
+card scanning; SATB replaces the remembered-set rebuild).  See
+EXPERIMENTS.md for how that compares to the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.gcalgo.g1 import Region, RegionType
+from repro.gcalgo.stack import ObjectStack
+from repro.gcalgo.trace import (FIXED_GC_INSTRUCTIONS, GCTrace,
+                                RESIDUAL_COSTS, chunk_refs)
+from repro.heap import fast_kernels
+from repro.heap.heap import JavaHeap
+from repro.heap.object_model import ObjectView
+from repro.obs.tracer import get_tracer
+from repro.units import CACHE_LINE, KB, WORD, align_up
+
+#: default number of objects one :meth:`ConcurrentMarkGC.mark_step`
+#: scans before yielding back to the mutator.
+DEFAULT_MARK_STEP_BUDGET = 64
+
+
+class ConcurrentMarkGC:
+    """Region allocator plus the SATB concurrent-marking cycle."""
+
+    def __init__(self, heap: JavaHeap, region_bytes: int = 64 * KB,
+                 pacing_period: int = 0,
+                 mark_step_budget: int = DEFAULT_MARK_STEP_BUDGET
+                 ) -> None:
+        if region_bytes <= 0 or region_bytes % WORD:
+            raise ConfigError("region size must be a positive multiple "
+                              "of 8")
+        self.heap = heap
+        self.region_bytes = region_bytes
+        self.mark_step_budget = mark_step_budget
+        #: with a positive period, every ``period``-th allocation while
+        #: a cycle is live runs one mark step (Shenandoah-style
+        #: allocation pacing); zero leaves stepping to the caller.
+        self.pacing_period = pacing_period
+        self._allocations_since_step = 0
+        span = heap.layout.heap_end - heap.layout.heap_start
+        count = span // region_bytes
+        if count < 4:
+            raise ConfigError("heap too small for concurrent-mark "
+                              "regions")
+        self.regions: List[Region] = [
+            Region(index=i,
+                   start=heap.layout.heap_start + i * region_bytes,
+                   end=heap.layout.heap_start + (i + 1) * region_bytes)
+            for i in range(count)
+        ]
+        self._allocation_region: Optional[Region] = None
+        #: lead region index -> region count, for humongous runs
+        self._humongous: Dict[int, int] = {}
+        self.collections = 0
+        self.traces: List[GCTrace] = []
+        # -- cycle state -----------------------------------------------------
+        self.in_cycle = False
+        self.marked: Set[int] = set()
+        self.allocated_during_cycle: Set[int] = set()
+        self.satb_buffer: List[int] = []
+        self.satb_logged = 0
+        self.satb_drained = 0
+        self._stack: ObjectStack[int] = ObjectStack()
+        self._trace: Optional[GCTrace] = None
+        self._pauses = 0
+        self._fast = False
+        self._pending_addrs: List[int] = []
+        self._pending_sizes: List[int] = []
+        # -- hooks -----------------------------------------------------------
+        #: fired around every :meth:`collect` (explicit and the
+        #: allocation-failure ones); the fuzz reachability oracle hangs
+        #: its live-graph checks here.
+        self.pre_collect_hooks: List[
+            Callable[[JavaHeap, str], None]] = []
+        self.post_collect_hooks: List[
+            Callable[[JavaHeap, str, GCTrace], None]] = []
+        #: fired at the initial-mark snapshot and after the final-mark
+        #: drain, with ``(heap, collector)`` — the SATB oracle's
+        #: attachment points.
+        self.cycle_start_hooks: List[
+            Callable[[JavaHeap, "ConcurrentMarkGC"], None]] = []
+        self.cycle_end_hooks: List[
+            Callable[[JavaHeap, "ConcurrentMarkGC"], None]] = []
+        heap.ref_write_hooks.append(self._barrier)
+
+    # -- the SATB write barrier ----------------------------------------------
+
+    def _barrier(self, slot_addr: int, old: int, new: int) -> None:
+        """Log the overwritten reference while marking is live.
+
+        Unconditional logging of non-null old values is the SATB
+        pre-write barrier: any snapshot edge the mutator destroys ends
+        up in the buffer, so the marker can still reach everything that
+        was live at the snapshot.
+        """
+        if self.in_cycle and old:
+            self.satb_buffer.append(old)
+            self.satb_logged += 1
+            self._trace.residual("barrier-log",
+                                 RESIDUAL_COSTS["barrier_log"])
+
+    # -- region bookkeeping ---------------------------------------------------
+
+    def region_of(self, addr: int) -> Region:
+        index = (addr - self.heap.layout.heap_start) // self.region_bytes
+        if not 0 <= index < len(self.regions):
+            raise ConfigError(f"address {addr:#x} outside the region "
+                              "space")
+        return self.regions[index]
+
+    def _take_free_region(self, region_type: RegionType) -> Region:
+        for region in self.regions:
+            if region.region_type is RegionType.FREE:
+                region.region_type = region_type
+                region.top = region.start
+                return region
+        raise OutOfMemoryError("no free concurrent-mark regions")
+
+    @property
+    def free_region_count(self) -> int:
+        return sum(1 for r in self.regions
+                   if r.region_type is RegionType.FREE)
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(self, klass_name: str,
+                 length: Optional[int] = None) -> ObjectView:
+        """Bump-allocate; collect (finishing any live cycle) on failure.
+
+        While a cycle is live, new objects are marked and queued for
+        scanning (allocate-grey), and the optional pacer advances
+        marking every :attr:`pacing_period` allocations.
+        """
+        if self.pacing_period and self.in_cycle:
+            self._allocations_since_step += 1
+            if self._allocations_since_step >= self.pacing_period:
+                self._allocations_since_step = 0
+                self.mark_step()
+        klass = self.heap.klasses.by_name(klass_name)
+        size = align_up(klass.instance_bytes(length), WORD)
+        if size > self.region_bytes // 2:
+            return self._allocate_humongous(klass_name, size, length)
+        for attempt in range(2):
+            region = self._allocation_region
+            if region is None or not region.can_allocate(size):
+                try:
+                    region = self._take_free_region(RegionType.EDEN)
+                except OutOfMemoryError:
+                    if attempt:
+                        raise
+                    self.collect()
+                    continue
+                self._allocation_region = region
+            addr = region.allocate(size)
+            view = self.heap.format_object(addr, klass, length)
+            self._note_allocation(addr)
+            return view
+        raise OutOfMemoryError(
+            "concurrent-mark allocation failed after collection")
+
+    def _allocate_humongous(self, klass_name: str, size: int,
+                            length: Optional[int]) -> ObjectView:
+        needed = -(-size // self.region_bytes)
+        for attempt in range(2):
+            for first in range(len(self.regions) - needed + 1):
+                window = self.regions[first:first + needed]
+                if all(r.region_type is RegionType.FREE
+                       for r in window):
+                    for region in window:
+                        region.region_type = RegionType.HUMONGOUS
+                        region.top = region.end
+                    window[0].top = window[0].start + min(
+                        size, window[0].capacity)
+                    self._humongous[first] = needed
+                    klass = self.heap.klasses.by_name(klass_name)
+                    view = self.heap.format_object(window[0].start,
+                                                   klass, length)
+                    self._note_allocation(view.addr)
+                    return view
+            if attempt:
+                break
+            self.collect()
+        raise OutOfMemoryError("no contiguous regions for a humongous "
+                               "allocation")
+
+    def _note_allocation(self, addr: int) -> None:
+        """Allocate-grey: in-cycle allocations are marked immediately
+        and queued so exactly the marked set gets scanned."""
+        if self.in_cycle and addr not in self.marked:
+            self.marked.add(addr)
+            self.allocated_during_cycle.add(addr)
+            self._stack.push(addr)
+
+    # -- the cycle ---------------------------------------------------------------
+
+    def start_cycle(self) -> None:
+        """The initial-mark pause: snapshot the roots, arm the barrier.
+
+        Idempotent while a cycle is live.  The snapshot is the root set
+        itself: every non-null root is pushed, so overwritten *root*
+        slots never need barrier coverage — their old values are
+        already grey.
+        """
+        if self.in_cycle:
+            return
+        self._fast = fast_kernels.fast_enabled(self.heap)
+        trace = GCTrace("concurrent",
+                        heap_bytes=self.heap.config.heap_bytes)
+        trace.residual("setup", FIXED_GC_INSTRUCTIONS["concurrent"],
+                       96 * 1024)
+        self._trace = trace
+        self.marked = set()
+        self.allocated_during_cycle = set()
+        self.satb_buffer = []
+        self.satb_logged = 0
+        self.satb_drained = 0
+        self._stack = ObjectStack()
+        self._pauses = 0
+        self._pending_addrs = []
+        self._pending_sizes = []
+        self.heap.bitmaps.clear()
+        self.in_cycle = True
+        for hook in self.cycle_start_hooks:
+            hook(self.heap, self)
+        heap = self.heap
+        n_roots = len(heap.roots)
+        if n_roots:
+            trace.residual("initial-mark",
+                           RESIDUAL_COSTS["root"] * n_roots,
+                           CACHE_LINE * n_roots)
+        for addr in heap.roots:
+            if addr and addr not in self.marked:
+                self.marked.add(addr)
+                self._stack.push(addr)
+
+    def mark_step(self, budget: Optional[int] = None) -> int:
+        """One concurrent-mark pause: drain the SATB buffer, then scan
+        up to ``budget`` objects.  Starts a cycle if none is live.
+        Returns the number of objects scanned."""
+        if not self.in_cycle:
+            self.start_cycle()
+        budget = self.mark_step_budget if budget is None else budget
+        pause = self._pauses
+        self._pauses += 1
+        self._drain_satb(f"barrier-{pause}")
+        return self._scan(f"concurrent-mark-{pause}", budget)
+
+    def collect(self) -> GCTrace:
+        """Finish the cycle: final-mark pause, liveness, sweep.
+
+        Starts (and immediately completes) a cycle when none is live,
+        which is the degenerate stop-the-world form the allocation
+        slow path relies on.
+        """
+        for hook in self.pre_collect_hooks:
+            hook(self.heap, "concurrent")
+        obs = get_tracer()
+        if not self.in_cycle:
+            self.start_cycle()
+        trace = self._trace
+        fast_kernels.record_call(
+            "concurrent", kernel="fast" if self._fast else "scalar")
+        with obs.span("collect", cat="collector", gc="concurrent"):
+            with obs.span("final-mark", cat="collector",
+                          gc="concurrent"):
+                # Alternate drains and scans until both the barrier
+                # buffer and the mark stack are empty (a scan can log
+                # nothing, but the barrier may have queued work since
+                # the last pause).
+                while self.satb_buffer or self._stack:
+                    self._drain_satb("final-mark")
+                    self._scan("final-mark", None)
+            if self._fast and self._pending_addrs:
+                fast_kernels.mark_objects_bulk(
+                    self.heap.bitmaps,
+                    np.asarray(self._pending_addrs, dtype=np.int64),
+                    np.asarray(self._pending_sizes, dtype=np.int64))
+            self.in_cycle = False
+            for hook in self.cycle_end_hooks:
+                hook(self.heap, self)
+            with obs.span("liveness", cat="collector", gc="concurrent"):
+                self._account_liveness(trace)
+            with obs.span("sweep", cat="collector", gc="concurrent"):
+                self._sweep(trace)
+        self.collections += 1
+        self.traces.append(trace)
+        self._trace = None
+        self._allocation_region = None
+        for hook in self.post_collect_hooks:
+            hook(self.heap, "concurrent", trace)
+        return trace
+
+    # -- marking ------------------------------------------------------------------
+
+    def _drain_satb(self, phase: str) -> int:
+        """Process the logged overwritten references of one pause."""
+        entries = self.satb_buffer
+        if not entries:
+            return 0
+        self.satb_buffer = []
+        self.satb_drained += len(entries)
+        trace = self._trace
+        trace.residual(phase, (RESIDUAL_COSTS["pop"]
+                               + RESIDUAL_COSTS["check_mark"])
+                       * len(entries))
+        pushes = 0
+        for addr in entries:
+            if addr not in self.marked:
+                self.marked.add(addr)
+                self._stack.push(addr)
+                pushes += 1
+        for refs, chunk_pushes in chunk_refs(len(entries), pushes):
+            trace.scan_push(phase, entries[0], refs, chunk_pushes)
+        return len(entries)
+
+    def _scan(self, phase: str, budget: Optional[int]) -> int:
+        """Pop and scan up to ``budget`` objects (all when ``None``)."""
+        if self._fast:
+            return self._scan_fast(phase, budget)
+        heap = self.heap
+        trace = self._trace
+        stack = self._stack
+        marked = self.marked
+        scanned = 0
+        while stack and (budget is None or scanned < budget):
+            addr = stack.pop()
+            trace.residual(phase, RESIDUAL_COSTS["pop"])
+            view = heap.object_at(addr)
+            trace.objects_visited += 1
+            scanned += 1
+            heap.bitmaps.mark_object(addr, view.size_bytes)
+            slots = view.reference_slots()
+            pushes = 0
+            for slot in slots:
+                target = heap.load_ref(slot)
+                trace.residual(phase, RESIDUAL_COSTS["check_mark"])
+                if target and target not in marked:
+                    marked.add(target)
+                    stack.push(target)
+                    pushes += 1
+            if slots:
+                for refs, chunk_pushes in chunk_refs(len(slots),
+                                                     pushes):
+                    trace.scan_push(phase, addr, refs, chunk_pushes)
+            else:
+                trace.residual(phase, RESIDUAL_COSTS["scan_trivial"])
+        return scanned
+
+    def _scan_fast(self, phase: str, budget: Optional[int]) -> int:
+        """The scalar traversal with raw-word decode; bitmap marks are
+        deferred into one bulk write at final-mark."""
+        ops = fast_kernels.HeapOps(self.heap)
+        trace = self._trace
+        stack = self._stack
+        marked = self.marked
+        pop_cost = RESIDUAL_COSTS["pop"]
+        check_cost = RESIDUAL_COSTS["check_mark"]
+        trivial_cost = RESIDUAL_COSTS["scan_trivial"]
+        scanned = 0
+        while stack and (budget is None or scanned < budget):
+            addr = stack.pop()
+            trace.residual(phase, pop_cost)
+            kid, length, size = ops.decode(addr)
+            trace.objects_visited += 1
+            scanned += 1
+            self._pending_addrs.append(addr)
+            self._pending_sizes.append(size)
+            slots = ops.ref_slots(addr, kid, length)
+            if slots:
+                trace.residual(phase, check_cost * len(slots))
+                pushes = 0
+                for slot in slots:
+                    target = ops.read_word(slot)
+                    if target and target not in marked:
+                        marked.add(target)
+                        stack.push(target)
+                        pushes += 1
+                for refs, chunk_pushes in chunk_refs(len(slots),
+                                                     pushes):
+                    trace.scan_push(phase, addr, refs, chunk_pushes)
+            else:
+                trace.residual(phase, trivial_cost)
+        return scanned
+
+    # -- liveness and sweep ---------------------------------------------------------
+
+    def _account_liveness(self, trace: GCTrace) -> None:
+        """Per-region live bytes, one Bitmap Count per region — the
+        same "state of the entire heap" use of the primitive as G1."""
+        bits = self.region_bytes // WORD
+        index = (fast_kernels.CoverageIndex(self.heap.bitmaps)
+                 if self._fast else None)
+        for region in self.regions:
+            if region.region_type is RegionType.FREE:
+                region.live_bytes = 0
+                continue
+            if index is not None:
+                words = index.live_words(region.start, region.end)
+            else:
+                words = self.heap.bitmaps.live_words_in_range_fast(
+                    region.start, region.end)
+            trace.bitmap_count("liveness", region.start, bits=bits)
+            region.live_bytes = words * WORD
+
+    def _sweep(self, trace: GCTrace) -> None:
+        """Reclaim unmarked objects without moving anything.
+
+        Fully-dead regions recycle wholesale; partially-dead regions
+        get their dead ranges coalesced into fillers (a dead tail
+        lowers the bump pointer instead, so the space really returns).
+        Humongous runs free when their lead object is dead.
+        """
+        freed = 0
+        position = 0
+        while position < len(self.regions):
+            region = self.regions[position]
+            run = self._humongous.get(position)
+            if run is not None:
+                window = self.regions[position:position + run]
+                trace.residual("sweep",
+                               RESIDUAL_COSTS["summary_region"] * run)
+                if region.start not in self.marked:
+                    freed += sum(r.used for r in window)
+                    for member in window:
+                        member.reset()
+                    del self._humongous[position]
+                position += run
+                continue
+            position += 1
+            if region.region_type is RegionType.FREE \
+                    or region.used == 0:
+                continue
+            if region.live_bytes == 0:
+                trace.residual("sweep",
+                               RESIDUAL_COSTS["summary_region"])
+                freed += region.used
+                if region is self._allocation_region:
+                    self._allocation_region = None
+                region.reset()
+                continue
+            freed += self._sweep_region(trace, region)
+        trace.bytes_freed = freed
+
+    def _sweep_region(self, trace: GCTrace, region: Region) -> int:
+        """Coalesce a partially-live region's dead ranges."""
+        heap = self.heap
+        if self._fast:
+            parsed = fast_kernels.parse_space(heap, region.start,
+                                              region.top)
+            n_objects = len(parsed)
+            if not n_objects:
+                return 0
+            trace.residual("sweep",
+                           RESIDUAL_COSTS["sweep_step"] * n_objects,
+                           CACHE_LINE * n_objects)
+            filler = ((parsed.kids == heap.filler_klass.klass_id)
+                      | (parsed.kids
+                         == heap.filler_object_klass.klass_id))
+            marked_addrs = np.fromiter(
+                self.marked, dtype=np.int64,
+                count=len(self.marked)) if self.marked \
+                else np.empty(0, dtype=np.int64)
+            dead = filler | ~np.isin(parsed.addrs, marked_addrs)
+            spans = list(zip(parsed.addrs.tolist(),
+                             parsed.end_addrs.tolist(),
+                             dead.tolist()))
+        else:
+            spans = []
+            cursor = region.start
+            while cursor < region.top:
+                view = heap.object_at(cursor)
+                trace.residual("sweep", RESIDUAL_COSTS["sweep_step"],
+                               CACHE_LINE)
+                end = view.end_addr
+                is_dead = (heap.is_filler(view)
+                           or view.addr not in self.marked)
+                spans.append((view.addr, end, is_dead))
+                cursor = end
+        freed = 0
+        dead_start = None
+        for addr, end, is_dead in spans:
+            if is_dead:
+                if dead_start is None:
+                    dead_start = addr
+            elif dead_start is not None:
+                heap.fill_dead_range(dead_start, addr)
+                freed += addr - dead_start
+                dead_start = None
+        if dead_start is not None:
+            # A dead tail returns to the bump pointer instead of
+            # becoming a filler — the region can allocate again.
+            freed += region.top - dead_start
+            region.top = dead_start
+        return freed
+
+    # -- driver integration -----------------------------------------------------
+
+    def install_step_hook(self, driver, period: int = 16,
+                          budget: Optional[int] = None) -> None:
+        """Ride a :class:`~repro.workloads.mutator.MutatorDriver`'s
+        allocation safepoints: every ``period``-th step advances a live
+        cycle by one bounded mark increment.  Cycles are only advanced,
+        never started — starting one is a policy decision the caller
+        (or the allocation slow path) makes."""
+        state = {"countdown": period}
+
+        def step(heap: JavaHeap) -> None:
+            if not self.in_cycle:
+                state["countdown"] = period
+                return
+            state["countdown"] -= 1
+            if state["countdown"] <= 0:
+                state["countdown"] = period
+                self.mark_step(budget)
+
+        driver.step_hooks.append(step)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def occupancy_summary(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {t.value: 0 for t in RegionType}
+        for region in self.regions:
+            summary[region.region_type.value] += 1
+        return summary

@@ -23,6 +23,7 @@ _LABELS = {
     "major": "Full GC (major)",
     "sweep": "Old GC (mark-sweep)",
     "g1": "GC pause (G1 mixed)",
+    "concurrent": "GC cycle (concurrent mark)",
 }
 
 
@@ -43,6 +44,10 @@ def format_gc_line(trace: GCTrace,
     if trace.kind == "major":
         parts.append(f", {trace.count(Primitive.BITMAP_COUNT)} "
                      "bitmap queries")
+    if trace.kind == "concurrent":
+        pauses = len({event.phase for event in trace.events
+                      if event.phase.startswith("concurrent-mark")})
+        parts.append(f", {pauses} mark pauses")
     if seconds is not None:
         parts.append(f", {seconds:.6f} secs")
     parts.append("]")

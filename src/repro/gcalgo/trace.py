@@ -84,7 +84,7 @@ class GCTrace:
     """The full record of one collection."""
 
     def __init__(self, kind: str, heap_bytes: int = 0) -> None:
-        if kind not in ("minor", "major", "sweep", "g1"):
+        if kind not in ("minor", "major", "sweep", "g1", "concurrent"):
             raise ValueError(f"unknown GC kind {kind!r}")
         self.kind = kind
         self.heap_bytes = heap_bytes
@@ -185,14 +185,32 @@ RESIDUAL_COSTS = {
     # Reference-free objects (type arrays) have a no-op iterate
     # strategy: the collector only dispatches on the klass.
     "scan_trivial": 6.0,
+    # SATB write barrier: read the old value, test for null, append to
+    # the thread-local log buffer (G1/Shenandoah's pre-write barrier).
+    "barrier_log": 10.0,
 }
 
 #: Fixed per-collection host work that never offloads: VM operation
 #: setup, thread root scanning (stacks, JNI handles, string table),
 #: parallel-task termination, adaptive-sizing policy.  Fig. 4 folds all
 #: of this into the "other" slice, which averages ~25% of GC time.
+#: A concurrent cycle pays two short safepoints (initial/final mark)
+#: instead of one long one, but the combined VM-operation work lands
+#: between the minor and major figures.
 FIXED_GC_INSTRUCTIONS = {"minor": 60_000.0, "major": 100_000.0,
-                         "sweep": 60_000.0}
+                         "sweep": 60_000.0, "concurrent": 80_000.0}
+
+#: Phase names whose SCAN_PUSH events are *marking* scans (cold
+#: mark-bitmap checks, two dependent accesses per slot) as opposed to
+#: evacuation/remset scans.  Concurrent-mark traces suffix their
+#: per-pause phases with ``-<n>`` so the replayers' per-phase-run
+#: residual accounting stays exact; the prefixes cover those.
+_MARKING_PHASE_PREFIXES = ("concurrent-mark", "final-mark", "barrier")
+
+
+def is_marking_phase(name: str) -> bool:
+    """True when SCAN_PUSH events in phase ``name`` are marking scans."""
+    return name == "mark" or name.startswith(_MARKING_PHASE_PREFIXES)
 
 #: HotSpot scans large object arrays in chunks of this many elements
 #: (ParGCArrayScanChunk's order of magnitude), so one Scan&Push

@@ -13,7 +13,7 @@ byte-for-byte.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 import numpy as np
 
@@ -59,6 +59,12 @@ class JavaHeap:
         #: the root set: object addresses reachable from outside the heap
         #: (stack slots, globals).  Collectors update entries in place.
         self.roots: List[int] = []
+        #: pre-write barrier observers: each mutator reference store
+        #: calls ``hook(slot_addr, old_value, new_value)`` *before* the
+        #: store lands.  The concurrent-marking collector installs its
+        #: SATB logging barrier here; the list is empty otherwise and
+        #: the old value is only read while a hook is installed.
+        self.ref_write_hooks: List[Callable[[int, int, int], None]] = []
         # Filler klasses keep swept/compacted spaces parseable (dead
         # ranges are overwritten with pseudo arrays/objects, as HotSpot
         # does).  The 16-byte header-only instance covers gaps too small
@@ -213,8 +219,14 @@ class JavaHeap:
         """Mutator reference store, with the generational write barrier.
 
         Storing a young-generation reference into an old-generation slot
-        dirties the card holding the slot (Sec. 3.2).
+        dirties the card holding the slot (Sec. 3.2).  Any installed
+        :attr:`ref_write_hooks` (the SATB pre-write barrier) observe the
+        overwritten value first.
         """
+        if self.ref_write_hooks:
+            old = self.read_u64(slot_addr)
+            for hook in self.ref_write_hooks:
+                hook(slot_addr, old, target)
         self.write_u64(slot_addr, target)
         if target and self.layout.in_old(slot_addr) \
                 and self.layout.in_young(target):

@@ -43,7 +43,7 @@ import numpy as np
 from repro.errors import ProtectionFault, ReproError
 from repro.gcalgo.columnar import (CODE_TO_PRIMITIVE, CompiledTrace,
                                    PRIMITIVE_TYPE_CODES)
-from repro.gcalgo.trace import Primitive
+from repro.gcalgo.trace import Primitive, is_marking_phase
 from repro.units import CACHE_LINE, HMC_MAX_REQUEST, WORD
 
 #: Stage-2 loop granularity: plans are consumed in slices of this many
@@ -339,12 +339,13 @@ def host_event_columns(compiled: CompiledTrace, costs, ipc_hz: float,
         refs = np.maximum(1, ev["refs"][scan])
         instr[scan] = refs * costs.scan_push_instructions_per_ref
         touched[scan] = refs * CACHE_LINE
-        try:
-            mark_id = compiled.phase_names.index("mark")
-        except ValueError:
-            marking = np.zeros(int(scan.sum()), dtype=bool)
+        mark_ids = [pid for pid, name in enumerate(compiled.phase_names)
+                    if is_marking_phase(name)]
+        if mark_ids:
+            marking = np.isin(ev["phase"][scan],
+                              np.asarray(mark_ids, dtype=np.uint16))
         else:
-            marking = ev["phase"][scan] == mark_id
+            marking = np.zeros(int(scan.sum()), dtype=bool)
         hitf[scan] = np.where(marking, costs.scan_push_hit_major,
                               costs.scan_push_hit_minor)
         dep[scan] = np.where(marking, 2.0, 1.0)
@@ -939,7 +940,7 @@ class CharonBatchedKernel:
             raise FastReplayUnsupported(
                 "trace contains primitive codes the Charon kernel "
                 "does not model")
-        marking_kind = compiled.kind in ("major", "g1")
+        marking_kind = compiled.kind in ("major", "g1", "concurrent")
         cpu_side = self.cpu_side
         cyc = self.cyc
         chunk = self.chunk
@@ -1187,7 +1188,7 @@ class CharonBatchedKernel:
         when a ProtectionFault must be raised in event order.
         """
         cube_of = self.map.cube_of
-        marking_kind = compiled.kind in ("major", "g1")
+        marking_kind = compiled.kind in ("major", "g1", "concurrent")
         covered = info.heap_end - info.bitmap_covered_start
         bc_line = self.bc.line_bytes
         cyc = self.cyc

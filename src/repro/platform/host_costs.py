@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 from repro.config import CostModelConfig
 from repro.cpu.core import CoreModel
-from repro.gcalgo.trace import Primitive, ResidualWork, TraceEvent
+from repro.gcalgo.trace import (Primitive, ResidualWork, TraceEvent,
+                                is_marking_phase)
 from repro.units import CACHE_LINE
 
 
@@ -102,7 +103,7 @@ class HostCostModel:
         refs = max(1, event.refs)
         instructions = refs * self.costs.scan_push_instructions_per_ref
         touched = refs * CACHE_LINE
-        marking = event.phase == "mark"
+        marking = is_marking_phase(event.phase)
         hit = (self.costs.scan_push_hit_major if marking
                else self.costs.scan_push_hit_minor)
         return self._roofline(now, instructions, touched, hit,

@@ -10,17 +10,24 @@ performs token computation while exercising the allocation/retention
 pattern that drives its published GC profile.
 
 Heap sizes are the Table 3 values scaled by 1/256 (see DESIGN.md).
+
+A seventh, synthetic workload — ``concurrent-mark`` in
+:mod:`repro.workloads.concurrent_demo` — drives the SATB
+concurrent-marking collector, which the Table 3 applications cannot
+reach from the generational heap; it is registered alongside them but
+excluded from the paper-figure sweeps (``TABLE3_WORKLOADS``).
 """
 
 from repro.workloads.mutator import Handle, MutatorDriver, WorkloadRun
-from repro.workloads.registry import (WORKLOAD_NAMES, get_workload,
-                                      run_workload)
+from repro.workloads.registry import (TABLE3_WORKLOADS, WORKLOAD_NAMES,
+                                      get_workload, run_workload)
 from repro.workloads.rmat import generate_rmat
 
 __all__ = [
     "Handle",
     "MutatorDriver",
     "WorkloadRun",
+    "TABLE3_WORKLOADS",
     "WORKLOAD_NAMES",
     "get_workload",
     "run_workload",

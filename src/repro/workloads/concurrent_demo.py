@@ -1,0 +1,105 @@
+"""A pseudo-workload that drives the SATB concurrent-marking collector.
+
+The six Table 3 workloads all run on the generational heap through
+:class:`~repro.workloads.mutator.MutatorDriver`, so none of them can
+produce ``concurrent``-kind traces — the concurrent collector owns its
+own region-managed heap, like G1.  This module registers a synthetic
+workload, ``concurrent-mark``, that exercises the collector the way it
+is meant to run in production: allocation-paced marking interleaved
+with a mutator that keeps overwriting references (SATB barrier
+traffic), finished by explicit cycle completions.
+
+Registering it as a workload surfaces the collector through the whole
+front end for free: ``repro run concurrent-mark``, ``repro compare``,
+``repro trace`` / ``replay`` / ``stats`` / ``timeline``, and the
+experiments runner's cached :func:`~repro.experiments.runner.collect_run`
+all work unchanged, because they only speak :class:`WorkloadRun`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import KB, MB
+from repro.workloads.base import Workload
+from repro.workloads.mutator import WorkloadRun
+
+
+class ConcurrentMarkDemo(Workload):
+    """Linked-record churn under allocation-paced concurrent marking.
+
+    Each iteration grows chains of ``Record`` objects hanging off a
+    rotating set of root slots, drops and overwrites links while a
+    marking cycle is live (so the write barrier logs real snapshot
+    edges), then completes the cycle.  Pacing runs one bounded mark
+    step every :attr:`pacing_period` allocations, Shenandoah-style, so
+    the concurrent phases genuinely interleave with mutation instead
+    of degenerating into a stop-the-world mark.
+    """
+
+    name = "concurrent-mark"
+    framework = "runtime"
+    dataset = "synthetic linked records"
+    iterations = 6
+    region_bytes = 64 * KB
+    #: allocations per paced mark step while a cycle is live.
+    pacing_period = 24
+    #: objects allocated per iteration.
+    objects_per_iteration = 2200
+    #: root slots the chains rotate through.
+    root_slots = 12
+
+    @property
+    def default_heap_bytes(self) -> int:
+        # Not a Table 3 workload, so no paper heap size to scale from;
+        # sized like the small-heap integration fixtures, with room
+        # for floating garbage between cycles.
+        return 24 * MB
+
+    def run(self, heap_bytes: Optional[int] = None) -> WorkloadRun:
+        from repro.gcalgo.concurrent_mark import ConcurrentMarkGC
+        from repro.workloads.mutator import MutatorDriver
+
+        heap = self.build_heap(heap_bytes)
+        gc = ConcurrentMarkGC(heap, region_bytes=self.region_bytes,
+                              pacing_period=self.pacing_period)
+        run = WorkloadRun(name=self.name,
+                          heap_bytes=heap.config.heap_bytes)
+        heap.roots.extend([0] * self.root_slots)
+
+        def allocate(klass_name: str, length: Optional[int] = None):
+            view = gc.allocate(klass_name, length=length)
+            run.allocated_objects += 1
+            run.allocated_bytes += view.size_bytes
+            return view
+
+        for iteration in range(self.iterations):
+            gc.start_cycle()
+            previous = 0
+            for index in range(self.objects_per_iteration):
+                view = allocate("Record")
+                heap.set_field(view, 0, previous)
+                previous = view.addr
+                if index % 200 == 0:
+                    # Rotate the chain into a root slot; the slot's old
+                    # chain becomes floating garbage for the sweep.
+                    slot = (index // 200) % self.root_slots
+                    heap.roots[slot] = previous
+                    previous = 0
+                elif index % 7 == 0:
+                    # Unlink mid-chain while marking is live — the SATB
+                    # barrier must log the overwritten edge.
+                    heap.set_field(view, 0, 0)
+                    previous = view.addr
+                if index % 3 == 0:
+                    allocate("typeArray", 256)  # short-lived garbage
+            # Every chain head is parked in a root, so dropping one
+            # root retires a whole chain per iteration.
+            heap.roots[iteration % self.root_slots] = 0
+            gc.collect()
+
+        run.traces = list(gc.traces)
+        run.sweep_count = gc.collections
+        run.mutator_seconds = (run.allocated_bytes
+                               / MutatorDriver.ALLOCATION_RATE)
+        return run

@@ -106,6 +106,11 @@ class MutatorDriver:
         self.pre_gc_hooks: List[Callable[[JavaHeap, str], None]] = []
         self.post_gc_hooks: List[
             Callable[[JavaHeap, str, GCTrace], None]] = []
+        #: fired at the top of every allocation — the driver's
+        #: safepoint poll.  Concurrent collectors ride these to
+        #: interleave bounded marking increments with mutator
+        #: progress (see ConcurrentMarkGC.install_step_hook).
+        self.step_hooks: List[Callable[[JavaHeap], None]] = []
 
     # -- handles ------------------------------------------------------------
 
@@ -132,6 +137,8 @@ class MutatorDriver:
         The returned view's address is valid only until the next
         allocation; stash it in a handle or a heap structure first.
         """
+        for hook in self.step_hooks:
+            hook(self.heap)
         heap = self.heap
         klass = heap.klasses.by_name(klass_name)
         size = align_up(klass.instance_bytes(length), 8)

@@ -161,3 +161,53 @@ def make_g1_traces():
 @pytest.fixture(scope="session")
 def g1_traces_session():
     return make_g1_traces()
+
+
+def make_concurrent_traces():
+    """Two interleaved concurrent-marking cycles over a mutating heap.
+
+    The cycle is driven the way the collector is meant to run: marking
+    started explicitly, advanced with bounded ``mark_step`` pauses
+    between allocation/mutation bursts (so the SATB write barrier logs
+    real overwrites), then finished by ``collect``.  Shared between
+    the fast-path equivalence tests, the golden-trace regression test
+    and the CI fast-path-coverage script.
+    """
+    from repro.gcalgo.concurrent_mark import ConcurrentMarkGC
+
+    heap = make_heap()
+    gc = ConcurrentMarkGC(heap, region_bytes=64 * 1024)
+    heap.roots.extend([0] * 16)
+    previous = 0
+    for index in range(2000):
+        view = gc.allocate("Record")
+        heap.set_field(view, 0, previous)
+        previous = view.addr
+        if index % 250 == 0:
+            heap.roots[(index // 250) % 8] = previous
+            previous = 0
+        if index % 2 == 0:
+            gc.allocate("typeArray", 320)
+        if index == 600:
+            gc.start_cycle()
+        if index > 600 and index % 150 == 0:
+            # Mutate between pauses so the barrier has edges to log.
+            root = heap.roots[(index // 150) % 8]
+            if root:
+                gc_view = heap.object_at(root)
+                if gc_view.reference_slots():
+                    heap.set_field(gc_view, 0, 0)
+            gc.mark_step()
+    gc.collect()
+    gc.start_cycle()
+    for index in range(8):
+        heap.roots[8 + index] = gc.allocate("Vertex").addr
+        gc.mark_step()
+    heap.roots[3] = 0
+    gc.collect()
+    return gc.traces
+
+
+@pytest.fixture(scope="session")
+def concurrent_traces_session():
+    return make_concurrent_traces()

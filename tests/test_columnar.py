@@ -81,7 +81,7 @@ class TestValidation:
     def test_unknown_kind_rejected(self):
         events = np.empty(0, dtype=EVENT_DTYPE)
         with pytest.raises(ValueError, match="unknown GC kind"):
-            CompiledTrace("concurrent", 0, events, [])
+            CompiledTrace("epsilon", 0, events, [])
 
     def test_wrong_dtype_rejected(self):
         events = np.zeros(4, dtype=np.int64)

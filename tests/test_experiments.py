@@ -114,6 +114,10 @@ class TestTables:
         assert cms["bitmap_count"] == "x"
         ps = next(r for r in rows if r["collector"] == "ParallelScavenge")
         assert ps["copy_search"] == "vv"
+        satb = next(r for r in rows
+                    if r["collector"] == "Concurrent (SATB)")
+        assert satb["copy_search"] == "x"
+        assert satb["scan_push"] == "vv"
 
     def test_table1_demonstration(self):
         result = tables.table1_demonstration("graphchi-als")
@@ -124,6 +128,11 @@ class TestTables:
         assert result["sweep_copy_events"] == 0
         assert result["g1_copy_events"] > 0
         assert result["g1_bitmap_count_events"] > 0
+        # The SATB row: marking + liveness only, no copy/card-search.
+        assert result["concurrent_scan_push_events"] > 0
+        assert result["concurrent_bitmap_count_events"] > 0
+        assert result["concurrent_copy_events"] == 0
+        assert result["concurrent_search_events"] == 0
 
     def test_table2_parameters(self):
         rows = tables.table2()

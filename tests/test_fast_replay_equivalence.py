@@ -100,11 +100,15 @@ def traces_of_kind(run, kind):
 
 class TestGoldenEquivalence:
     @pytest.mark.parametrize("platform_name,threads", SUPPORTED)
-    @pytest.mark.parametrize("kind", ["minor", "major", "sweep", "g1"])
+    @pytest.mark.parametrize("kind", ["minor", "major", "sweep", "g1",
+                                      "concurrent"])
     def test_per_kind_equivalence(self, mixed_run, g1_traces_session,
+                                  concurrent_traces_session,
                                   platform_name, threads, kind):
         if kind == "g1":
             traces = g1_traces_session
+        elif kind == "concurrent":
+            traces = concurrent_traces_session
         else:
             traces = traces_of_kind(mixed_run, kind)
         slow_platform, _, _ = platform_for(platform_name)

@@ -16,6 +16,8 @@ from repro.errors import FuzzError, HeapError, OracleViolation
 from repro.fuzz import (build_schedule, fuzz_seed, snapshot_live,
                         assert_isomorphic)
 from repro.fuzz.differential import run_schedule
+from repro.fuzz.generator import FuzzOp
+from repro.gcalgo import concurrent_mark
 from repro.fuzz.shrink import (failure_predicate, load_reproducer,
                                replay_reproducer, shrink_schedule,
                                write_reproducer)
@@ -25,7 +27,7 @@ from repro.heap import object_model
 #: ops, old-generation allocation and at least one humongous object.
 PINNED_SEEDS = (0, 1, 2)
 
-COLLECTORS = ("minor", "major", "sweep", "g1")
+COLLECTORS = ("minor", "major", "sweep", "g1", "concurrent")
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +67,11 @@ class TestSnapshot:
         minor = run_schedule(ops, "minor", config)
         g1 = run_schedule(ops, "g1", config)
         assert minor.final_fingerprint == g1.final_fingerprint
+        # The concurrent backend also executes the mark_step ops the
+        # stop-the-world backends skip; marking never mutates the
+        # reachable graph, so the fingerprint still matches.
+        concurrent = run_schedule(ops, "concurrent", config)
+        assert concurrent.final_fingerprint == minor.final_fingerprint
 
     def test_isomorphism_catches_field_mutation(self, config):
         ops = build_schedule(2, config)
@@ -122,6 +129,96 @@ class TestInjectedBug:
         with pytest.raises((FuzzError, HeapError)):
             replay_reproducer(path)
 
+class TestInjectedSATBBugs:
+    """The concurrent backend's acceptance gate: SATB bugs are caught.
+
+    Two injected write-barrier bugs (monkeypatched, never merged):
+    a *lossy drain* trips the drain-completeness law on nearly any
+    schedule, while a *dropped barrier* is only observable through the
+    weak-reachability law when a schedule actually hides a pointer —
+    moves the last reference to an object from a not-yet-scanned field
+    into an already-scanned one mid-cycle.  A hand-built minimal
+    schedule pins the law itself; a pinned generator seed pins that
+    the generator keeps *producing* such races (if a generator change
+    kills them, a deleted write barrier fuzzes clean again).
+    """
+
+    #: hand-built hidden-pointer race, budget 1: snapshot pushes
+    #: [A, B]; the first pause scans only B; the move copies A's ref
+    #: to X into already-scanned B; the unlink destroys the only
+    #: snapshot path to X.  Without barrier coverage X dies live.
+    HIDE_OPS = [
+        FuzzOp("alloc", slot=0, klass="Record"),    # A
+        FuzzOp("alloc", slot=1, klass="Record"),    # B
+        FuzzOp("alloc", slot=2, klass="Record"),    # X
+        FuzzOp("link", slot=0, index=0, target=2),  # A.f0 = X
+        FuzzOp("release", slot=2),                  # X interior-only
+        FuzzOp("mark_step"),
+        FuzzOp("move", slot=1, index=0, target=0, value=0),
+        FuzzOp("unlink", slot=0, index=0),
+        FuzzOp("gc"),
+    ]
+
+    #: generator seed whose schedule loses an object to the dropped
+    #: barrier (found by fuzzing the injected bug; replays in ~0.2 s).
+    RACY_SEED = 35
+
+    @pytest.fixture
+    def dropped_barrier(self, monkeypatch):
+        monkeypatch.setattr(
+            concurrent_mark.ConcurrentMarkGC, "_barrier",
+            lambda self, slot_addr, old, new: None)
+
+    @pytest.fixture
+    def lossy_drain(self, monkeypatch):
+        original = concurrent_mark.ConcurrentMarkGC._drain_satb
+
+        def drops_every_other(self, phase):
+            self.satb_buffer = self.satb_buffer[::2]
+            return original(self, phase)
+
+        monkeypatch.setattr(concurrent_mark.ConcurrentMarkGC,
+                            "_drain_satb", drops_every_other)
+
+    def _hide_config(self, config):
+        from dataclasses import replace
+        return replace(config, mark_step_budget=1)
+
+    def test_hide_schedule_passes_with_real_barrier(self, config):
+        result = run_schedule(self.HIDE_OPS, "concurrent",
+                              self._hide_config(config))
+        assert result.satb_cycles == 1
+
+    def test_dropped_barrier_fails_hide_schedule(
+            self, dropped_barrier, config):
+        with pytest.raises(OracleViolation,
+                           match="weak-reachability"):
+            run_schedule(self.HIDE_OPS, "concurrent",
+                         self._hide_config(config))
+
+    def test_generator_produces_the_race(self, dropped_barrier,
+                                         config):
+        ops = build_schedule(self.RACY_SEED, config)
+        with pytest.raises(OracleViolation,
+                           match="weak-reachability"):
+            run_schedule(ops, "concurrent", config)
+
+    def test_racy_seed_clean_with_real_barrier(self, config):
+        result = run_schedule(build_schedule(self.RACY_SEED, config),
+                              "concurrent", config)
+        assert result.satb_cycles >= 1
+
+    def test_lossy_drain_caught_and_shrunk(self, lossy_drain, config):
+        ops = build_schedule(0, config)
+        with pytest.raises(OracleViolation, match="drain incomplete"):
+            run_schedule(ops, "concurrent", config)
+        fails = failure_predicate(("concurrent",), config)
+        minimized = shrink_schedule(ops, fails, rounds=2)
+        assert fails(minimized)
+        assert len(minimized) < len(ops) // 4
+
+
+class TestInjectedBugRepair:
     def test_reproducer_passes_once_bug_is_fixed(self, config,
                                                  tmp_path):
         # Same scenario without the monkeypatch: the reproducer must

@@ -7,8 +7,9 @@ from repro.config import PAPER_HEAP_BYTES, PAPER_HEAP_SCALE, \
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.gcalgo.trace import Primitive
 from repro.workloads.mutator import MutatorDriver
-from repro.workloads.registry import (WORKLOAD_ABBREV, WORKLOAD_NAMES,
-                                      get_workload)
+from repro.workloads.registry import (TABLE3_WORKLOADS, WORKLOAD_ABBREV,
+                                      WORKLOAD_NAMES, get_workload,
+                                      run_workload)
 from repro.workloads.rmat import (adjacency_lists, degree_histogram,
                                   generate_rmat)
 
@@ -118,8 +119,12 @@ class TestMutatorDriver:
 
 
 class TestRegistry:
-    def test_six_workloads(self):
-        assert len(WORKLOAD_NAMES) == 6
+    def test_registered_workloads(self):
+        # Six Table 3 workloads plus the synthetic concurrent-mark demo.
+        assert len(TABLE3_WORKLOADS) == 6
+        assert len(WORKLOAD_NAMES) == 7
+        assert "concurrent-mark" not in TABLE3_WORKLOADS
+        assert "concurrent-mark" in WORKLOAD_NAMES
         assert set(WORKLOAD_ABBREV) == set(WORKLOAD_NAMES)
 
     def test_get_workload(self):
@@ -132,9 +137,14 @@ class TestRegistry:
             get_workload("spark-xyz")
 
     def test_heap_scaling(self):
-        for name in WORKLOAD_NAMES:
+        # Table 3 names scale the paper heaps; the synthetic demo
+        # workload supplies its own default instead.
+        for name in TABLE3_WORKLOADS:
             assert scaled_heap_bytes(name) == \
                 PAPER_HEAP_BYTES[name] // PAPER_HEAP_SCALE
+        with pytest.raises(ConfigError):
+            scaled_heap_bytes("concurrent-mark")
+        assert get_workload("concurrent-mark").default_heap_bytes > 0
 
     def test_datasets_match_table3(self):
         assert get_workload("spark-bs").dataset == "KDD 2010"
@@ -175,6 +185,18 @@ class TestTinyWorkloadRuns:
         for trace in tiny_graph_run.traces:
             assert trace.kind in ("minor", "major")
             assert trace.heap_bytes > 0
+
+    def test_concurrent_demo_run_shape(self):
+        run = run_workload("concurrent-mark")
+        assert run.sweep_count >= 1
+        assert run.allocated_bytes > 0
+        assert run.mutator_seconds > 0
+        assert {t.kind for t in run.traces} == {"concurrent"}
+        # Interleaved cycles: mark pauses beyond the final drain, and
+        # barrier traffic from the mid-chain unlinks.
+        phases = {e.phase for t in run.traces for e in t.events}
+        assert any(p.startswith("concurrent-mark-") for p in phases)
+        assert any(p.startswith("barrier-") for p in phases)
 
 
 def run_traces(run):
