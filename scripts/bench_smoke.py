@@ -201,9 +201,43 @@ def run_collect_bench() -> None:
         + f", combined minor+major {combined:.1f}x")
 
 
+def run_scale_bench() -> None:
+    """Run the paper-scale replay benchmark and validate its report.
+
+    ``bench_scale.py`` replays chunk-streamed traces against a
+    10x-scaled mmap-backed heap in a subprocess under a hard
+    address-space cap and exits non-zero if peak RSS reaches the
+    scaled heap size — the lazy-heap/streaming regression guard.
+    """
+    report_path = ARTIFACTS / "BENCH_scale.json"
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    process = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "bench_scale.py"),
+         str(report_path)],
+        cwd=REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if process.returncode != 0:
+        print(process.stdout)
+        sys.exit(f"bench smoke: scale benchmark failed "
+                 f"(exit {process.returncode})")
+    report = json.loads(report_path.read_text())
+    if report.get("events", 0) <= 0 \
+            or report.get("events_per_second", 0) <= 0:
+        sys.exit(f"bench smoke: BENCH_scale.json records no replay "
+                 f"throughput: {report}")
+    if report.get("peak_rss_bytes", 0) >= report.get("heap_bytes", 0):
+        sys.exit("bench smoke: BENCH_scale.json peak RSS reached the "
+                 "scaled heap size")
+    print(f"bench smoke: scale report OK — "
+          f"{report['events_per_second']:,.0f} events/s, peak RSS "
+          f"{report['peak_rss_bytes'] / (1 << 20):.0f} MiB on a "
+          f"{report['heap_bytes'] / (1 << 20):.0f} MiB heap")
+
+
 def main() -> None:
     run_replay_kernel_bench()
     run_collect_bench()
+    run_scale_bench()
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))
         workloads = len(SMOKE_WORKLOADS.split(","))

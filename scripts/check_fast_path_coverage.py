@@ -2,7 +2,8 @@
 """CI guard: every timing platform must take the fast replay path.
 
 Replays the bundled test traces — the TinySpark run plus the mixed
-minor/major/sweep and G1 fixture traces — on all five platforms
+minor/major/sweep and G1 fixture traces — on every platform
+configuration (the five named platforms plus ``charon --distributed``)
 through ``make_replayer`` in auto mode, then fails if
 
 * any platform silently fell back to the event-by-event replayer
@@ -36,7 +37,7 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
 PLATFORMS = ("ideal", "cpu-ddr4", "cpu-hmc", "charon",
-             "charon-cpuside")
+             "charon-cpuside", "charon-distributed")
 THREADS = (1, 2, 4, 8)
 
 

@@ -299,20 +299,26 @@ def _cmd_compare(args) -> str:
 
 def _cmd_replay(args) -> str:
     from repro.gcalgo.columnar import compile_traces
-    from repro.gcalgo.trace_io import load_compiled
+    from repro.gcalgo.trace_io import load_manifest, stream_compiled
     from repro.heap.heap import JavaHeap
     from repro.platform import FastTraceReplayer, make_replayer
     from repro.workloads.base import workload_klasses
 
-    if args.input.endswith(".npz"):
-        compiled, _ = load_compiled(args.input)
-        traces = None  # decompile only if the slow path needs objects
-        heap_bytes = max(t.heap_bytes for t in compiled) or 16 * (1 << 20)
-        count = len(compiled)
+    binary = args.input.endswith(".npz")
+    if binary:
+        # Sizing decisions need only the manifest; the event stream is
+        # replayed through the chunked generator reader, one trace in
+        # RAM at a time.
+        entries = load_manifest(args.input)["traces"]
+        traces = None
+        heap_bytes = max((entry.get("heap_bytes", 0)
+                          for entry in entries), default=0) \
+            or 16 * (1 << 20)
+        count = len(entries)
     else:
-        compiled = None
         traces = load_traces(args.input)
-        heap_bytes = max(t.heap_bytes for t in traces) or 16 * (1 << 20)
+        heap_bytes = max((t.heap_bytes for t in traces), default=0) \
+            or 16 * (1 << 20)
         count = len(traces)
     config = default_config().with_heap_bytes(heap_bytes)
     if args.distributed:
@@ -322,12 +328,12 @@ def _cmd_replay(args) -> str:
     replayer = make_replayer(platform, threads=args.threads,
                              mode=args.mode)
     if isinstance(replayer, FastTraceReplayer):
-        feed = compiled if compiled is not None else \
-            compile_traces(traces)
+        feed = (stream_compiled(args.input) if binary
+                else compile_traces(traces))
         path_note = "fast path"
     else:
-        feed = traces if traces is not None else \
-            [t.to_trace() for t in compiled]
+        feed = (traces if traces is not None else
+                (t.to_trace() for t in stream_compiled(args.input)))
         path_note = "event-by-event"
     result = replayer.replay_all(feed)
     return (f"replayed {count} traces on {args.platform} "

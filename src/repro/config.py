@@ -487,8 +487,44 @@ TRACE_OUT_ENV = "REPRO_TRACE_OUT"              #: Chrome trace at exit
 METRICS_OUT_ENV = "REPRO_METRICS_OUT"          #: metric snapshot at exit
 REPLAY_MODE_ENV = "REPRO_REPLAY_MODE"          #: auto | fast | event
 HEAP_KERNELS_ENV = "REPRO_HEAP_KERNELS"        #: scalar | fast
+HEAP_BACKEND_ENV = "REPRO_HEAP_BACKEND"        #: ram | mmap
+TRACE_CHUNK_ENV = "REPRO_TRACE_CHUNK_EVENTS"   #: events per npz chunk
+SHARD_JOURNAL_ENV = "REPRO_SHARD_JOURNAL"      #: sweep-shard directory
 
 REPLAY_MODES = ("auto", "fast", "event")
+
+#: Heap-buffer backends (see :mod:`repro.heap.backing`): ``ram``
+#: (default) allocates ``np.zeros`` pages up front, ``mmap`` backs the
+#: heap and mark bitmaps with sparse memory-mapped temporary files so
+#: paper-scale heaps allocate lazily and stay out of RSS until touched.
+HEAP_BACKENDS = ("ram", "mmap")
+
+#: Default events per chunk of the chunked binary trace layout.  Small
+#: enough that a writer/reader holds only a bounded slab per trace in
+#: addition to the trace being assembled, large enough that the zip
+#: member overhead stays negligible.
+DEFAULT_TRACE_CHUNK_EVENTS = 65536
+
+
+def default_heap_backend() -> str:
+    """The environment-selected heap-buffer backend."""
+    backend = os.environ.get(HEAP_BACKEND_ENV) or "ram"
+    if backend not in HEAP_BACKENDS:
+        raise ConfigError(
+            f"{HEAP_BACKEND_ENV} must be one of {HEAP_BACKENDS}, "
+            f"got {backend!r}")
+    return backend
+
+
+def default_trace_chunk_events() -> int:
+    """The environment-selected chunk size for binary traces."""
+    raw = os.environ.get(TRACE_CHUNK_ENV)
+    chunk = int(raw) if raw else DEFAULT_TRACE_CHUNK_EVENTS
+    if chunk < 1:
+        raise ConfigError(
+            f"{TRACE_CHUNK_ENV} must be a positive event count, "
+            f"got {chunk}")
+    return chunk
 
 #: Functional-layer kernel selection (see
 #: :mod:`repro.heap.fast_kernels`): ``fast`` (default) runs the

@@ -12,7 +12,12 @@ pipeline:
   :func:`replay_platform` selects automatically per platform via
   :func:`repro.platform.fast_replay.make_replayer`;
 * :func:`replay_grid` fans the platform x workload grid out over
-  worker processes with a deterministic merge.
+  worker processes with a deterministic merge.  With a shard journal
+  configured (``REPRO_SHARD_JOURNAL`` or ``journal=``), the grid
+  decomposes into durable per-cell shards: workers *steal* pending
+  shards through :mod:`~repro.experiments.shard_journal` claim files,
+  every finished cell persists immediately, and an interrupted sweep
+  resumes from the completed shards with a byte-identical merge.
 """
 
 from __future__ import annotations
@@ -20,12 +25,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
                           default_replay_config)
 from repro.errors import OutOfMemoryError
-from repro.experiments import trace_cache
+from repro.experiments import shard_journal, trace_cache
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
 from repro.heap.heap import JavaHeap
 from repro.obs import provenance
@@ -178,11 +184,27 @@ def _grid_worker(job: tuple) -> GCTimingResult:
                            threads=threads)
 
 
+def _memo_key(job: tuple) -> tuple:
+    """The _REPLAY_CACHE key a job resolves to (mode included)."""
+    platform_name, name, heap_bytes, threads = job
+    return _replay_key(platform_name, name,
+                       workload_config(name, heap_bytes), threads) \
+        + (default_replay_config().fast_path,)
+
+
+def _journal_worker(payload: tuple) -> None:
+    """One pool worker's work-stealing pass over the pending shards."""
+    directory, items = payload
+    shard_journal.sweep_shards(Path(directory), dict(items),
+                               _grid_worker)
+
+
 def replay_grid(platform_names: Iterable[str],
                 workload_names: Iterable[str],
                 heap_bytes: Optional[int] = None,
                 threads: Optional[int] = None,
-                processes: Optional[int] = None
+                processes: Optional[int] = None,
+                journal: Union[str, Path, None] = None
                 ) -> Dict[Tuple[str, str], GCTimingResult]:
     """Replay every platform x workload pair; returns the result grid.
 
@@ -192,6 +214,15 @@ def replay_grid(platform_names: Iterable[str],
     regenerating them; results merge back in job order, so the outcome
     — including the parent's replay memo — is identical to a serial
     sweep regardless of worker scheduling.
+
+    With a journal directory (``journal=`` or ``REPRO_SHARD_JOURNAL``)
+    the sweep becomes durable and work-stealing: each cell is a shard
+    keyed on its replay parameters, completed shards persist the moment
+    they finish and are *not* re-executed on a resumed sweep (they load
+    back through :func:`~repro.experiments.shard_journal.load_shard`,
+    counted as ``hits``), and pool workers claim pending shards
+    first-come-first-served instead of a static partition.  The merged
+    grid is byte-identical whether the sweep ran once or resumed.
     """
     platform_names = list(platform_names)
     workload_names = list(workload_names)
@@ -202,26 +233,62 @@ def replay_grid(platform_names: Iterable[str],
     for name in workload_names:
         collect_run(name, heap_bytes)
         compiled_run_traces(name, heap_bytes)
-    pending = [job for job in jobs
-               if _replay_key(job[0], job[1],
-                              workload_config(job[1], heap_bytes),
-                              threads) not in _REPLAY_CACHE]
-    if processes > 1 and len(pending) > 1 and _fork_available():
-        context = multiprocessing.get_context("fork")
-        with context.Pool(min(processes, len(pending))) as pool:
-            results = pool.map(_grid_worker, pending)
-        for job, result in zip(pending, results):
-            key = _replay_key(job[0], job[1],
-                              workload_config(job[1], heap_bytes),
-                              threads)
-            _REPLAY_CACHE[key] = result
+    journal_path = shard_journal.journal_dir(journal)
+    if journal_path is not None:
+        _sweep_journaled(journal_path, jobs, processes)
     else:
-        for job in pending:
-            _grid_worker(job)
+        pending = [job for job in jobs
+                   if _memo_key(job) not in _REPLAY_CACHE]
+        if processes > 1 and len(pending) > 1 and _fork_available():
+            context = multiprocessing.get_context("fork")
+            with context.Pool(min(processes, len(pending))) as pool:
+                results = pool.map(_grid_worker, pending)
+            for job, result in zip(pending, results):
+                _REPLAY_CACHE[_memo_key(job)] = result
+        else:
+            for job in pending:
+                _grid_worker(job)
     return {(platform, name): replay_platform(platform, name,
                                               heap_bytes=heap_bytes,
                                               threads=threads)
             for platform, name, _, _ in jobs}
+
+
+def _sweep_journaled(directory: Path, jobs: List[tuple],
+                     processes: int) -> None:
+    """Run the grid as durable shards, resuming completed ones.
+
+    Fills ``_REPLAY_CACHE`` for every job.  Shards already in the
+    journal load without executing a replay; the rest are swept with
+    work-stealing claims — forked workers when ``processes`` allows,
+    and always a final serial pass in the parent, which doubles as the
+    backstop should a worker die mid-shard (its claim is released by
+    ``reset_claims`` on the next sweep, its result simply missing now).
+    """
+    shard_journal.reset_claims(directory)
+    pending: Dict[str, tuple] = {}
+    for job in jobs:
+        memo_key = _memo_key(job)
+        key = shard_journal.shard_key(memo_key)
+        if memo_key in _REPLAY_CACHE:
+            continue
+        cached = shard_journal.load_shard(directory, key)
+        if cached is not None:
+            shard_journal.STATS.add("hits")
+            _REPLAY_CACHE[memo_key] = cached
+        else:
+            pending[key] = job
+    if processes > 1 and len(pending) > 1 and _fork_available():
+        workers = min(processes, len(pending))
+        payload = (str(directory), tuple(pending.items()))
+        context = multiprocessing.get_context("fork")
+        with context.Pool(workers) as pool:
+            pool.map(_journal_worker, [payload] * workers)
+    shard_journal.sweep_shards(directory, pending, _grid_worker)
+    for key, job in pending.items():
+        result = shard_journal.load_shard(directory, key)
+        if result is not None:
+            _REPLAY_CACHE[_memo_key(job)] = result
 
 
 def _fork_available() -> bool:

@@ -1,0 +1,75 @@
+"""Backing store for heap-sized numpy buffers: RAM or lazy memory maps.
+
+The heap buffer and the mark bitmaps are the only allocations that
+scale with the simulated heap, and at paper scale
+(``PAPER_HEAP_SCALE``-sized runs) eagerly zeroing them dominates both
+peak RSS and startup time.  :func:`allocate` hides the choice behind
+the ``REPRO_HEAP_BACKEND`` environment variable:
+
+* ``ram`` (the default) — ``np.zeros``, exactly the pre-existing
+  behaviour; every page is committed up front.
+* ``mmap`` — an ``np.memmap`` over an anonymous (already-unlinked)
+  sparse temp file.  Pages materialize on first touch and read as
+  zeros, so a 10–100x-scaled heap whose collectors only ever walk the
+  populated prefix costs RSS proportional to the bytes actually
+  touched, not the configured capacity.
+
+Both backends hand back an ndarray (``np.memmap`` subclasses it) that
+supports ``.view(np.uint64)``, in-place vector ops, and everything the
+heap kernels do; collectors cannot tell them apart.  The temp file is
+unlinked before the mapping is created, so the kernel reclaims the
+blocks as soon as the array is garbage collected — nothing to clean up
+even on a crash.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+from repro.config import HEAP_BACKENDS, default_heap_backend
+from repro.errors import ConfigError
+
+
+def allocate(count: int, dtype=np.uint8,
+             backend: Optional[str] = None) -> np.ndarray:
+    """A zero-filled 1-D array of ``count`` items of ``dtype``.
+
+    ``backend`` overrides the ``REPRO_HEAP_BACKEND`` environment
+    variable (``ram`` or ``mmap``).  Raises :class:`ConfigError` on an
+    unknown backend name.
+    """
+    if backend is None:
+        backend = default_heap_backend()
+    if backend not in HEAP_BACKENDS:
+        raise ConfigError(
+            f"unknown heap backend {backend!r}; expected one of "
+            f"{', '.join(HEAP_BACKENDS)}")
+    if backend == "ram" or count == 0:
+        array = np.zeros(count, dtype=dtype)
+    else:
+        # TemporaryFile is unlinked at creation on POSIX; truncate
+        # extends it sparsely, so untouched pages are never committed
+        # and read back as zeros.  np.memmap dups the descriptor, so
+        # the handle can close as soon as the mapping exists.
+        n_bytes = count * np.dtype(dtype).itemsize
+        with tempfile.TemporaryFile(prefix="repro-heap-") as handle:
+            handle.truncate(n_bytes)
+            array = np.memmap(handle, dtype=dtype, mode="r+",
+                              shape=(count,))
+    _record(backend, array.nbytes)
+    return array
+
+
+def _record(backend: str, nbytes: int) -> None:
+    from repro.obs.metrics import global_metrics
+
+    registry = global_metrics()
+    registry.counter("heap.backing_allocations",
+                     "heap-scale buffer allocations by backend",
+                     backend=backend).add(1)
+    registry.counter("heap.backing_bytes",
+                     "bytes of heap-scale buffer capacity by backend",
+                     backend=backend).add(float(nbytes))

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.config import HeapConfig
 from repro.errors import ConfigError, InvalidObjectError, OutOfMemoryError
+from repro.heap.backing import allocate
 from repro.heap.card_table import CardTable
 from repro.heap.klass import (ARRAY_LENGTH_OFFSET, HEADER_BYTES,
                               KlassDescriptor, KlassKind, KlassTable,
@@ -39,7 +40,7 @@ class JavaHeap:
         self.klasses = klasses or standard_klass_table()
         self.base = self.layout.heap_start
         size = self.layout.heap_end - self.layout.heap_start
-        self.buffer = np.zeros(size, dtype=np.uint8)
+        self.buffer = allocate(size, dtype=np.uint8)
         self._u64 = self.buffer.view(np.uint64)
         # Metadata regions sit above the heap in the virtual address
         # space (their *contents* live in dedicated structures; the

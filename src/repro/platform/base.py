@@ -204,19 +204,11 @@ class CharonPlatform(Platform):
         self.device.phase_completed(phase)
 
     def fast_replay_support(self, threads: int) -> Tuple[str, str]:
-        if self.config.charon.distributed and not self.cpu_side:
-            # The distributed organisation resolves every translation
-            # and bitmap access against per-cube TLB/cache slices whose
-            # port horizons interleave with the lookup fan-out; the
-            # batched kernel models only the (default) unified
-            # structures.
-            return (FAST_REFUSE,
-                    "distributed TLB/bitmap-cache slices are not "
-                    "modelled by the batched kernel")
         return (FAST_BATCHED,
                 "unit, link and bitmap-cache state make offload costs "
                 "order-dependent; routing, packet and stream maths "
-                "precompute in bulk")
+                "precompute in bulk; distributed slices resolve to "
+                "per-slice port horizons and tag arrays")
 
 
 class IdealPlatform(Platform):

@@ -771,6 +771,14 @@ class CharonBatchedKernel:
     per-unit busy clocks (least-loaded dispatch), the link/TSV and
     TLB/bitmap-cache port horizons, and the bitmap cache's real tag/LRU
     state machine.
+
+    Distributed charon is handled by resolving every TLB lookup and
+    bitmap-cache access to its owning slice at plan time: plans carry
+    ``(port slot, remote penalty)`` pairs (and per-line ``(address,
+    slice, penalty)`` triples) instead of assuming the single central
+    slice, and stage 2 keeps one port horizon and one tag array per
+    slice.  With one slice the arithmetic degenerates to the unified
+    fast path bit-for-bit.
     """
 
     name = "charon-batched"
@@ -798,21 +806,29 @@ class CharonBatchedKernel:
         self.lanes = _Lanes()
         self.map = _CubeMap(device.context.vm, self.pcid)
 
-        tlb = device.tlbs.slices[0]
-        self.tlb = tlb
-        self.tlb_slot = self.lanes.slot(tlb.port, False)
-        self.tlb_svc = 1 / tlb.port.rate
-        self.tlb_pen = {}  # unit cube -> remote-lookup addend
+        # TLB / bitmap-cache slices.  Unified devices have one slice;
+        # ``charon --distributed`` has one per cube, and every lookup
+        # is dispatched to the slice owning the translated address
+        # (mirroring ``CharonContext.translate`` /
+        # ``BitmapCacheComplex.slice_for``).  Port rates and latencies
+        # are uniform across slices, so only the slot and the remote
+        # penalty vary per lookup.
+        self.distributed = device.tlbs.distributed
+        self.tlbs = device.tlbs.slices
+        self.tlb_slots = [self.lanes.slot(t.port, False)
+                          for t in self.tlbs]
+        self.tlb_svc = 1 / self.tlbs[0].port.rate
+        self._tlb_uses = {}  # (unit cube, slice) -> lookup tuple
 
-        bc = device.bitmap_cache.slices[0]
-        self.bc = bc
-        self.bc_cache = bc.cache
-        self.bc_slot = self.lanes.slot(bc.port, False)
-        self.bc_svc = 1 / bc.port.rate
-        self.bc_mem = bc.memory_latency_s
-        self.bc_enabled = bc.enabled
-        self._read_acc = 0
-        self._read_hits = 0
+        self.bcs = device.bitmap_cache.slices
+        self.bc_access = [b.cache.access for b in self.bcs]
+        self.bc_slots = [self.lanes.slot(b.port, False)
+                         for b in self.bcs]
+        self.bc_svc = 1 / self.bcs[0].port.rate
+        self.bc_mem = self.bcs[0].memory_latency_s
+        self.bc_enabled = self.bcs[0].enabled
+        self._read_acc = [0] * len(self.bcs)
+        self._read_hits = [0] * len(self.bcs)
 
         # Unit pools, in the device's routing keys.
         self.pools: List[List] = []
@@ -852,7 +868,7 @@ class CharonBatchedKernel:
         self._plans: List = []
         self._prim_keys: List[Primitive] = []
         self._prim_ids: List[int] = []
-        self._bc_pens: Dict[int, float] = {}
+        self._bc_uses: Dict[Tuple[int, int], Tuple[int, float]] = {}
 
     # -- stage-1 helpers ---------------------------------------------------
 
@@ -899,21 +915,37 @@ class CharonBatchedKernel:
             counters[0] += nbytes
             counters[1] += count
 
-    def _tlb_pen(self, c: int) -> float:
-        pen = self.tlb_pen.get(c)
-        if pen is None:
-            pen = (2 * self.tlb.link_latency_s
-                   if c != self.tlb.home_cube else 0.0)
-            self.tlb_pen[c] = pen
-        return pen
+    def _tlb_use(self, c: int, owner: int) -> Tuple:
+        """(slot, penalty, slice, remote?) for one TLB lookup.
 
-    def _bc_pen(self, c: int) -> float:
-        pen = self._bc_pens.get(c)
-        if pen is None:
-            pen = (2 * self.bc.link_latency_s
-                   if c != self.bc.home_cube else 0.0)
-            self._bc_pens[c] = pen
-        return pen
+        ``c`` is the unit cube issuing the lookup; ``owner`` is the
+        cube whose slice holds the translation (ignored when the TLB
+        is unified).
+        """
+        si = owner if self.distributed else 0
+        key = (c, si)
+        use = self._tlb_uses.get(key)
+        if use is None:
+            tlb = self.tlbs[si]
+            remote = c != tlb.home_cube
+            pen = 2 * tlb.link_latency_s if remote else 0.0
+            use = (self.tlb_slots[si], pen, si, remote)
+            self._tlb_uses[key] = use
+        return use
+
+    def _bc_use(self, c: int, owner: int) -> Tuple[int, float]:
+        """(slice, penalty) for one bitmap-cache access from cube
+        ``c`` against the slice owning cube ``owner``."""
+        si = owner if self.distributed else 0
+        key = (c, si)
+        use = self._bc_uses.get(key)
+        if use is None:
+            bc = self.bcs[si]
+            pen = (2 * bc.link_latency_s
+                   if c != bc.home_cube else 0.0)
+            use = (si, pen)
+            self._bc_uses[key] = use
+        return use
 
     def _entry(self, kind_key: str, u: int, has_value: int,
                ex: Tuple) -> Tuple:
@@ -944,7 +976,6 @@ class CharonBatchedKernel:
         cpu_side = self.cpu_side
         cyc = self.cyc
         chunk = self.chunk
-        home = self.tlb.home_cube
         src = ev["src"]
         dst = ev["dst"]
         size = ev["size_bytes"]
@@ -958,7 +989,12 @@ class CharonBatchedKernel:
         self._remote_bytes = 0
         acc: Dict[int, List[int]] = {}
         batches: Dict[Tuple[int, int], int] = {}
-        tallies = {"tlb": 0, "tlb_remote": 0, "bc_port": 0, "probes": 0}
+        tallies = {"tlb": [0] * len(self.tlbs),
+                   "tlb_remote": [0] * len(self.tlbs),
+                   "bc_port": [0] * len(self.bcs),
+                   "probes": 0}
+        t_tlb = tallies["tlb"]
+        t_rem = tallies["tlb_remote"]
         plans: List = [None] * n
 
         # Rows stage 1 cannot group: bitmap counts (their cache-line
@@ -1030,7 +1066,10 @@ class CharonBatchedKernel:
                         sc0 = int(sc_a[f0])
                         dc0 = int(dc_a[f0])
                         sz0 = int(sz_a[f0])
-                        ex = ("C", self._tlb_pen(u0),
+                        use_s = self._tlb_use(u0, sc0)
+                        use_d = self._tlb_use(u0, dc0)
+                        ex = ("C", ((use_s[0], use_s[1]),
+                                    (use_d[0], use_d[1])),
                               (self._stream_plan(u0, sc0, sz0, chunk,
                                                  False),),
                               (self._stream_plan(u0, dc0, sz0, chunk,
@@ -1039,9 +1078,10 @@ class CharonBatchedKernel:
                                                  ex))
                         batches[(u0, code_copy)] = \
                             batches.get((u0, code_copy), 0) + m
-                        tallies["tlb"] += 2 * m
-                        if u0 != home:
-                            tallies["tlb_remote"] += 2 * m
+                        for _, _, si, rem in (use_s, use_d):
+                            t_tlb[si] += m
+                            if rem:
+                                t_rem[si] += m
                         tallies["probes"] += \
                             2 * math.ceil(sz0 / chunk) * m
                         self._account_stream(acc, u0, sc0, sz0 * m, m)
@@ -1072,7 +1112,8 @@ class CharonBatchedKernel:
                         sc0 = int(sc_a[f0])
                         ex0 = int(ex_a[f0])
                         s_chunk = min(HMC_MAX_REQUEST, ex0)
-                        ex = ("S", self._tlb_pen(u0),
+                        use = self._tlb_use(u0, sc0)
+                        ex = ("S", (use[0], use[1]),
                               (self._stream_plan(u0, sc0, ex0, s_chunk,
                                                  False),),
                               math.ceil(ex0 / 32) * cyc)
@@ -1080,9 +1121,9 @@ class CharonBatchedKernel:
                                                  ex))
                         batches[(u0, code_search)] = \
                             batches.get((u0, code_search), 0) + m
-                        tallies["tlb"] += m
-                        if u0 != home:
-                            tallies["tlb_remote"] += m
+                        t_tlb[use[2]] += m
+                        if use[3]:
+                            t_rem[use[2]] += m
                         tallies["probes"] += \
                             math.ceil(ex0 / s_chunk) * m
                         self._account_stream(acc, u0, sc0, ex0 * m, m)
@@ -1151,16 +1192,16 @@ class CharonBatchedKernel:
                                     u0, t, nb, CACHE_LINE, True))
                                 self._account_stream(acc, u0, t,
                                                      nb * m, m)
-                            ex = ("P", self._tlb_pen(u0), slot_plan,
-                                  tuple(ref_plans), ps0 * cyc, None,
-                                  self._bc_pen(u0))
+                            use = self._tlb_use(u0, oc0)
+                            ex = ("P", (use[0], use[1]), slot_plan,
+                                  tuple(ref_plans), ps0 * cyc, None)
                             table.append(self._entry("scan_push", u0,
                                                      1, ex))
                             batches[(u0, code_scan)] = \
                                 batches.get((u0, code_scan), 0) + m
-                            tallies["tlb"] += m
-                            if u0 != home:
-                                tallies["tlb_remote"] += m
+                            t_tlb[use[2]] += m
+                            if use[3]:
+                                t_rem[use[2]] += m
                             tallies["probes"] += rf0 * m
                         for i, j in zip(rows.tolist(), inv.tolist()):
                             plans[i] = table[j]
@@ -1190,9 +1231,13 @@ class CharonBatchedKernel:
         cube_of = self.map.cube_of
         marking_kind = compiled.kind in ("major", "g1", "concurrent")
         covered = info.heap_end - info.bitmap_covered_start
-        bc_line = self.bc.line_bytes
+        bc_line = self.bcs[0].line_bytes
         cyc = self.cyc
         chunk = self.chunk
+        t_tlb = tallies["tlb"]
+        t_rem = tallies["tlb_remote"]
+        t_bc = tallies["bc_port"]
+        bitmap_owner = None  # slice owner of the map base, lazily
 
         ev = compiled.events
         prim_c = ev["prim"]
@@ -1234,46 +1279,58 @@ class CharonBatchedKernel:
                 size = int(size_c[i])
                 if size <= 0:
                     ex = ("T", cyc)
-                    tlb_n = 0
+                    uses = ()
                 else:
+                    dst = int(dst_c[i])
+                    use_s = self._tlb_use(
+                        unit_cube,
+                        cube_of(src) if self.distributed else 0)
+                    use_d = self._tlb_use(
+                        unit_cube,
+                        cube_of(dst) if self.distributed else 0)
                     runs = self.map.split(src, size)
                     reads = tuple(
                         self._stream_plan(unit_cube, t, nb, chunk,
                                           False) for nb, t in runs)
                     for nb, t in runs:
                         self._account_stream(acc, unit_cube, t, nb)
-                    runs = self.map.split(int(dst_c[i]), size)
+                    runs = self.map.split(dst, size)
                     writes = tuple(
                         self._stream_plan(unit_cube, t, nb, chunk,
                                           False) for nb, t in runs)
                     for nb, t in runs:
                         self._account_stream(acc, unit_cube, t, nb)
-                    ex = ("C", self._tlb_pen(unit_cube), reads, writes)
-                    tlb_n = 2
+                    ex = ("C", ((use_s[0], use_s[1]),
+                                (use_d[0], use_d[1])), reads, writes)
+                    uses = (use_s, use_d)
                     tallies["probes"] += 2 * math.ceil(size / chunk)
                 has_value = 0
             elif p == code_search:
                 size = int(size_c[i])
                 examined = max(32, size // 2 if found_c[i] else size)
                 s_chunk = min(HMC_MAX_REQUEST, max(32, examined))
+                use = self._tlb_use(
+                    unit_cube,
+                    cube_of(src) if self.distributed else 0)
                 runs = self.map.split(src, examined)
                 run_plans = tuple(
                     self._stream_plan(unit_cube, t, nb, s_chunk, False)
                     for nb, t in runs)
                 for nb, t in runs:
                     self._account_stream(acc, unit_cube, t, nb)
-                ex = ("S", self._tlb_pen(unit_cube), run_plans,
+                ex = ("S", (use[0], use[1]), run_plans,
                       math.ceil(examined / 32) * cyc)
-                tlb_n = 1
+                uses = (use,)
                 tallies["probes"] += math.ceil(examined / s_chunk)
                 has_value = 1
             elif p == code_scan:
                 refs = int(refs_c[i])
                 if refs <= 0:
                     ex = ("T", 2 * cyc)
-                    tlb_n = 0
+                    uses = ()
                 else:
                     obj_cube = cube_of(src)
+                    use = self._tlb_use(unit_cube, obj_cube)
                     slot_bytes = max(CACHE_LINE, refs * 8)
                     slot_plan = self._stream_plan(
                         unit_cube, obj_cube, slot_bytes, 256, True)
@@ -1300,22 +1357,28 @@ class CharonBatchedKernel:
                             off = (window_base + (src & 0x3FF0)
                                    + index * 64) % covered
                             line_addr = info.bitmap_base + off // 64
-                            cube_of(line_addr)  # fault fidelity
-                            lines.append(line_addr)
+                            ci, bpen = self._bc_use(
+                                unit_cube, cube_of(line_addr))
+                            lines.append((line_addr, ci, bpen))
+                            t_bc[ci] += 1
                         marks = tuple(lines)
-                        tallies["bc_port"] += pushes
-                    ex = ("P", self._tlb_pen(unit_cube), slot_plan,
-                          tuple(ref_plans), pushes * cyc, marks,
-                          self._bc_pen(unit_cube))
-                    tlb_n = 1
+                    ex = ("P", (use[0], use[1]), slot_plan,
+                          tuple(ref_plans), pushes * cyc, marks)
+                    uses = (use,)
                     tallies["probes"] += refs
                 has_value = 1
             else:  # bitmap count
                 bits = int(bits_c[i])
                 if bits <= 0:
                     ex = ("T", cyc)
-                    tlb_n = 0
+                    uses = ()
                 else:
+                    # The scalar unit translates the (constant) map
+                    # base, so the owning slice is fixed per trace.
+                    if bitmap_owner is None:
+                        bitmap_owner = (cube_of(info.bitmap_base)
+                                        if self.distributed else 0)
+                    use = self._tlb_use(unit_cube, bitmap_owner)
                     words = (bits + 63) // 64
                     bit_offset = (src - info.bitmap_covered_start) // WORD
                     byte_lo = bit_offset // 8
@@ -1328,18 +1391,19 @@ class CharonBatchedKernel:
                         last = (map_base + byte_hi - 1) // bc_line
                         for idx in range(first, last + 1):
                             line_addr = idx * bc_line
-                            cube_of(line_addr)  # fault fidelity
-                            lines.append(line_addr)
-                    ex = ("B", self._tlb_pen(unit_cube), tuple(lines),
-                          words * cyc, self._bc_pen(unit_cube))
-                    tlb_n = 1
-                    tallies["bc_port"] += len(lines)
+                            ci, bpen = self._bc_use(
+                                unit_cube, cube_of(line_addr))
+                            lines.append((line_addr, ci, bpen))
+                            t_bc[ci] += 1
+                    ex = ("B", (use[0], use[1]), tuple(lines),
+                          words * cyc)
+                    uses = (use,)
                 has_value = 1
 
-            if tlb_n:
-                tallies["tlb"] += tlb_n
-                if unit_cube != self.tlb.home_cube:
-                    tallies["tlb_remote"] += tlb_n
+            for _, _, si, rem in uses:
+                t_tlb[si] += 1
+                if rem:
+                    t_rem[si] += 1
             batches[(cube, p)] = batches.get((cube, p), 0) + 1
             if self.cpu_side:
                 plans[i] = (pool, None, None, ex)
@@ -1382,14 +1446,17 @@ class CharonBatchedKernel:
                 link.account_bulk(nbytes, requests)
             self.hmc.unit_local_bytes += self._local_bytes
             self.hmc.unit_remote_bytes += self._remote_bytes
-        tlb_lookups = tallies["tlb"]
-        self.tlb.lookups += tlb_lookups
-        self.tlb.remote_lookups += tallies["tlb_remote"]
-        if tlb_lookups:
-            self.tlb.port.account_bulk(tlb_lookups, tlb_lookups)
-        if tallies["bc_port"]:
-            self.bc.port.account_bulk(tallies["bc_port"],
-                                      tallies["bc_port"])
+        for si, lookups in enumerate(tallies["tlb"]):
+            if lookups:
+                tlb = self.tlbs[si]
+                tlb.lookups += lookups
+                tlb.port.account_bulk(lookups, lookups)
+        for si, remote in enumerate(tallies["tlb_remote"]):
+            if remote:
+                self.tlbs[si].remote_lookups += remote
+        for ci, accesses in enumerate(tallies["bc_port"]):
+            if accesses:
+                self.bcs[ci].port.account_bulk(accesses, accesses)
         for ri, (nbytes, requests) in acc.items():
             self.lanes.resources[ri].account_bulk(nbytes, requests)
 
@@ -1410,16 +1477,16 @@ class CharonBatchedKernel:
         acc_cmds = self._acc_cmds
         acc_busy = self._acc_busy
         dispatch = self.dispatch
-        tlb_slot = self.tlb_slot
         tlb_svc = self.tlb_svc
-        bc_slot = self.bc_slot
+        bc_slots = self.bc_slots
         bc_svc = self.bc_svc
         bc_mem = self.bc_mem
         bc_enabled = self.bc_enabled
-        bc_access = self.bc_cache.access
+        bc_access = self.bc_access
         access_lat = self.access_lat
-        read_acc = 0
-        read_hits = 0
+        n_bc = len(bc_slots)
+        read_acc = [0] * n_bc
+        read_hits = [0] * n_bc
 
         def run_stream(now: float, plan) -> float:
             slots, svcs, a, b, i1, i2 = plan
@@ -1469,14 +1536,13 @@ class CharonBatchedKernel:
                     finish = s0 + ex[1]
                     release = finish
                 elif kind == "C":
-                    pen = ex[1]
                     f = s0
-                    for _ in range(2):
-                        t = H[tlb_slot]
+                    for sl, pen in ex[1]:
+                        t = H[sl]
                         if t < s0:
                             t = s0
                         d = t + tlb_svc
-                        H[tlb_slot] = d
+                        H[sl] = d
                         d += pen
                         if d > f:
                             f = d
@@ -1494,12 +1560,13 @@ class CharonBatchedKernel:
                     release = read_f
                     finish = read_f if read_f > write_f else write_f
                 elif kind == "S":
-                    t = H[tlb_slot]
+                    sl, pen = ex[1]
+                    t = H[sl]
                     if t < s0:
                         t = s0
                     d = t + tlb_svc
-                    H[tlb_slot] = d
-                    f = d + ex[1]
+                    H[sl] = d
+                    f = d + pen
                     for plan in ex[2]:
                         r = run_stream(f, plan)
                         if r > f:
@@ -1507,12 +1574,13 @@ class CharonBatchedKernel:
                     finish = f + ex[3]
                     release = finish
                 elif kind == "P":
-                    t = H[tlb_slot]
+                    sl, pen = ex[1]
+                    t = H[sl]
                     if t < s0:
                         t = s0
                     d = t + tlb_svc
-                    H[tlb_slot] = d
-                    f = d + ex[1]
+                    H[sl] = d
+                    f = d + pen
                     f = run_stream(f, ex[2])
                     lf = f
                     for plan in ex[3]:
@@ -1522,15 +1590,15 @@ class CharonBatchedKernel:
                     f = lf + ex[4]
                     marks = ex[5]
                     if marks is not None:
-                        bc_pen = ex[6]
-                        for line in marks:
-                            hit = (bc_access(line, True) if bc_enabled
-                                   else False)
-                            t = H[bc_slot]
+                        for line, ci, bc_pen in marks:
+                            hit = (bc_access[ci](line, True)
+                                   if bc_enabled else False)
+                            sl = bc_slots[ci]
+                            t = H[sl]
                             if t < f:
                                 t = f
                             d = t + bc_svc
-                            H[bc_slot] = d
+                            H[sl] = d
                             if not hit:
                                 d += bc_mem
                                 if not bc_enabled:
@@ -1541,25 +1609,26 @@ class CharonBatchedKernel:
                     finish = f
                     release = finish
                 else:  # "B"
-                    t = H[tlb_slot]
+                    sl, pen = ex[1]
+                    t = H[sl]
                     if t < s0:
                         t = s0
                     d = t + tlb_svc
-                    H[tlb_slot] = d
-                    f = d + ex[1]
-                    bc_pen = ex[4]
+                    H[sl] = d
+                    f = d + pen
                     last = f
-                    for line in ex[2]:
-                        hit = (bc_access(line, False) if bc_enabled
-                               else False)
-                        read_acc += 1
+                    for line, ci, bc_pen in ex[2]:
+                        hit = (bc_access[ci](line, False)
+                               if bc_enabled else False)
+                        read_acc[ci] += 1
                         if hit:
-                            read_hits += 1
-                        t = H[bc_slot]
+                            read_hits[ci] += 1
+                        sl = bc_slots[ci]
+                        t = H[sl]
                         if t < f:
                             t = f
                         d = t + bc_svc
-                        H[bc_slot] = d
+                        H[sl] = d
                         if not hit:
                             d += bc_mem
                         d += bc_pen
@@ -1589,8 +1658,9 @@ class CharonBatchedKernel:
         for key, value in zip(keys, sums):
             if value is not None:
                 prim_seconds[key] = value
-        self._read_acc += read_acc
-        self._read_hits += read_hits
+        for ci in range(n_bc):
+            self._read_acc[ci] += read_acc[ci]
+            self._read_hits[ci] += read_hits[ci]
         barrier = max(clock for clock, _ in heap)
         lanes.sync_out()
         self._sync_units_out()
@@ -1616,10 +1686,12 @@ class CharonBatchedKernel:
                     unit.busy_time += times[k]
                     cmds[k] = 0
                     times[k] = 0.0
-        if self._read_acc:
-            self.bc.record_reads(self._read_acc, self._read_hits)
-            self._read_acc = 0
-            self._read_hits = 0
+        for ci, accesses in enumerate(self._read_acc):
+            if accesses:
+                self.bcs[ci].record_reads(accesses,
+                                          self._read_hits[ci])
+                self._read_acc[ci] = 0
+                self._read_hits[ci] = 0
 
 
 def batched_kernel_for(platform, threads: int):

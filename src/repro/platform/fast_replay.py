@@ -12,14 +12,15 @@ families instead, selected by the platform's own eligibility answer
   event's duration is a pure function of the event, so the whole trace
   prices in a handful of numpy array operations;
 * **batched-stateful** (multi-threaded ``cpu-ddr4``, ``cpu-hmc``,
-  ``charon``, ``charon-cpuside``) — costs are order-dependent through
-  shared state, so a two-stage kernel from
-  :mod:`repro.platform.batched` precomputes all pure per-event work in
-  bulk and replays only the stateful recurrence (thread clocks, FIFO
-  horizons, unit queues, bitmap-cache tags) in a tight loop;
-* **refuse** (the base platform; ``charon --distributed``) — no
-  equivalent kernel exists and :class:`FastReplayUnsupported` is
-  raised; :func:`make_replayer` falls back to event-by-event replay in
+  ``charon`` — unified or ``--distributed`` — and
+  ``charon-cpuside``) — costs are order-dependent through shared
+  state, so a two-stage kernel from :mod:`repro.platform.batched`
+  precomputes all pure per-event work in bulk and replays only the
+  stateful recurrence (thread clocks, FIFO horizons, unit queues,
+  per-slice TLB/bitmap-cache ports and tags) in a tight loop;
+* **refuse** (only the abstract base platform) — no equivalent kernel
+  exists and :class:`FastReplayUnsupported` is raised;
+  :func:`make_replayer` falls back to event-by-event replay in
   ``auto`` mode.
 
 Equivalence contract (what the golden tests in

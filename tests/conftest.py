@@ -85,8 +85,16 @@ def tiny_graph_run():
 
 
 def platform_for(name: str, heap_bytes: int = SMALL_HEAP_BYTES):
-    """(platform, heap, config) triple for a named platform."""
+    """(platform, heap, config) triple for a named platform.
+
+    ``charon-distributed`` is the ``charon`` platform built with the
+    per-cube TLB/bitmap-cache slices enabled — the equivalence suite
+    and the CI coverage script exercise it as its own matrix row.
+    """
     cfg = default_config().with_heap_bytes(heap_bytes)
+    if name == "charon-distributed":
+        name = "charon"
+        cfg = cfg.with_distributed_charon(True)
     heap = JavaHeap(cfg.heap, klasses=workload_klasses())
     return build_platform(name, cfg, heap), heap, cfg
 

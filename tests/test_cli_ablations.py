@@ -81,19 +81,16 @@ class TestCli:
         assert "replayed" in out
         assert "ms" in out
 
-    def test_replay_fast_mode_unsupported_exits_2(self, tmp_path,
-                                                  capsys):
-        """Forcing --mode fast on a configuration with no batched
-        kernel (distributed charon) reports to stderr and exits 2."""
+    def test_replay_fast_mode_distributed_supported(self, tmp_path,
+                                                    capsys):
+        """--distributed no longer refuses --mode fast: the batched
+        kernel resolves the per-cube TLB/bitmap-cache slices."""
         path = tmp_path / "als.gctrace.json"
         assert main(["trace", "graphchi-als", str(path)]) == 0
         capsys.readouterr()
-        code = main(["replay", str(path), "--platform", "charon",
-                     "--distributed", "--mode", "fast"])
-        captured = capsys.readouterr()
-        assert code == 2
-        assert "fast replay unsupported:" in captured.err
-        assert "distributed" in captured.err
+        assert main(["replay", str(path), "--platform", "charon",
+                     "--distributed", "--mode", "fast"]) == 0
+        assert "replayed" in capsys.readouterr().out
 
     def test_replay_fast_mode_supported(self, tmp_path, capsys):
         path = tmp_path / "als.gctrace.json"

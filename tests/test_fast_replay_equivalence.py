@@ -5,13 +5,13 @@ produce a :class:`GCTimingResult` equivalent to the event-by-event
 replayer — integer traffic counters *exactly* equal, float quantities
 within 1e-9 relative tolerance — or refuse the fast path up front.
 
-Since the batched stateful kernels landed, *all five* platforms accept
-the fast path at every thread count: ``ideal`` (any threads) and
-``cpu-ddr4`` with one GC thread price events closed-form, and the rest
-replay through a two-stage batched kernel whose stage 2 runs only the
-order-dependent recurrence.  The only refusals left are platforms with
-state the kernels do not mirror (the base class; Charon's distributed
-TLB/bitmap-cache organisation).
+Since the batched stateful kernels landed, every platform accepts the
+fast path at every thread count — including ``charon --distributed``,
+whose per-cube TLB/bitmap-cache slices the batched kernel resolves at
+plan time: ``ideal`` (any threads) and ``cpu-ddr4`` with one GC thread
+price events closed-form, and the rest replay through a two-stage
+batched kernel whose stage 2 runs only the order-dependent recurrence.
+The only refusal left is the abstract base platform.
 
 The tolerance absorbs exactly one thing: the event-by-event path sums
 durations through a sequential clock (``finish - now`` at growing
@@ -37,7 +37,8 @@ from tests.conftest import platform_for
 
 REL = 1e-9
 
-PLATFORMS = ("cpu-ddr4", "cpu-hmc", "charon", "charon-cpuside", "ideal")
+PLATFORMS = ("cpu-ddr4", "cpu-hmc", "charon", "charon-cpuside",
+             "charon-distributed", "ideal")
 THREADS = (1, 2, 4, 8)
 
 #: Every (platform, threads) cell of the support matrix must replay
@@ -62,7 +63,8 @@ def expected_kernel(platform_name, threads):
     return {"cpu-ddr4": "ddr4-batched",
             "cpu-hmc": "hmc-batched",
             "charon": "charon-batched",
-            "charon-cpuside": "charon-batched"}[platform_name]
+            "charon-cpuside": "charon-batched",
+            "charon-distributed": "charon-batched"}[platform_name]
 
 
 def assert_equivalent(fast, slow):
@@ -150,40 +152,61 @@ class TestGoldenEquivalence:
         assert_equivalent(from_objects, from_compiled)
 
 
-def distributed_charon():
-    """A Charon platform with the distributed TLB/bitmap-cache slices
-    (the one named-platform configuration whose fast path refuses)."""
-    from repro.config import default_config
-    from repro.heap.heap import JavaHeap
-    from repro.platform.factory import build_platform
-    from repro.workloads.base import workload_klasses
+class TestModeSelection:
+    def test_distributed_charon_fast_mode_batches(self):
+        """The last refusal fell: ``charon --distributed`` replays
+        through the slice-aware batched kernel, even in the strict
+        ``fast`` mode."""
+        platform, _, _ = platform_for("charon-distributed")
+        replayer = make_replayer(platform, mode="fast")
+        assert isinstance(replayer, FastTraceReplayer)
+        assert replayer.kernel_name == "charon-batched"
 
-    from tests.conftest import SMALL_HEAP_BYTES
+    def test_no_named_platform_refuses(self):
+        """``fast_replay_support`` refuses nothing anywhere in the
+        matrix (the CI coverage script enforces the same invariant)."""
+        from repro.platform.base import FAST_BATCHED, FAST_CLOSED_FORM
 
-    config = default_config().with_heap_bytes(SMALL_HEAP_BYTES) \
-        .with_distributed_charon(True)
-    heap = JavaHeap(config.heap, klasses=workload_klasses())
-    return build_platform("charon", config, heap)
+        for name in PLATFORMS:
+            for threads in THREADS:
+                platform, _, _ = platform_for(name)
+                support, _ = platform.fast_replay_support(threads)
+                assert support in (FAST_CLOSED_FORM, FAST_BATCHED), \
+                    (name, threads, support)
 
-
-class TestRefusal:
-    def test_distributed_charon_fast_mode_raises(self):
-        platform = distributed_charon()
-        with pytest.raises(FastReplayUnsupported, match="distributed"):
-            make_replayer(platform, mode="fast")
-
-    def test_distributed_charon_auto_falls_back(self):
-        platform = distributed_charon()
-        replayer = make_replayer(platform)
-        assert type(replayer) is TraceReplayer
-
-    def test_auto_fallback_counts_a_metric(self):
+    def test_distributed_charon_does_not_count_a_fallback(self):
         fallbacks = global_metrics().scope("replay").counter(
             "kernel_fallbacks",
             "auto-mode fallbacks to event-by-event replay",
             platform="charon")
         before = fallbacks.value
-        make_replayer(distributed_charon())
+        replayer = make_replayer(platform_for("charon-distributed")[0])
+        assert isinstance(replayer, FastTraceReplayer)
+        assert fallbacks.value == before
+
+    def test_auto_fallback_counts_a_metric(self):
+        """A platform that refuses (none are left in-tree) still falls
+        back to event-by-event replay and records the fallback."""
+        from repro.config import default_config
+        from repro.platform.base import FAST_REFUSE
+
+        class RefusingPlatform:
+            name = "refusing-stub"
+            offloads = False
+            config = default_config()
+
+            def fast_replay_support(self, threads):
+                return (FAST_REFUSE, "stub platform refuses")
+
+        with pytest.raises(FastReplayUnsupported, match="stub"):
+            make_replayer(RefusingPlatform(), mode="fast")
+        fallbacks = global_metrics().scope("replay").counter(
+            "kernel_fallbacks",
+            "auto-mode fallbacks to event-by-event replay",
+            platform="refusing-stub")
+        before = fallbacks.value
+        replayer = make_replayer(RefusingPlatform())
+        assert type(replayer) is TraceReplayer
         assert fallbacks.value == before + 1
 
     def test_distributed_cpuside_still_batches(self):

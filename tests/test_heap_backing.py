@@ -1,0 +1,105 @@
+"""Tests for the heap backing store (``REPRO_HEAP_BACKEND``).
+
+The backend must be invisible to collectors — identical traces either
+way — and the lazy ``mmap`` path must keep peak RSS decoupled from the
+configured heap size at paper scale, which is pinned here with a
+fresh-interpreter RSS measurement.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import HEAP_BACKEND_ENV
+from repro.errors import ConfigError
+from repro.gcalgo.trace_io import trace_to_dict
+from repro.heap.backing import allocate
+
+from tests.conftest import make_mixed_run
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestAllocate:
+    @pytest.mark.parametrize("backend", ["ram", "mmap"])
+    def test_zero_filled_and_writable(self, backend):
+        buffer = allocate(4096, backend=backend)
+        assert buffer.shape == (4096,)
+        assert buffer.dtype == np.uint8
+        assert not buffer.any()
+        words = buffer.view(np.uint64)
+        words[0] = np.uint64(0xDEAD)
+        assert buffer[:2].tolist() == [0xAD, 0xDE]
+
+    @pytest.mark.parametrize("backend", ["ram", "mmap"])
+    def test_typed_allocation(self, backend):
+        words = allocate(64, dtype=np.uint64, backend=backend)
+        words |= np.uint64(3)
+        assert (words == 3).all()
+
+    def test_mmap_is_a_memmap(self):
+        assert isinstance(allocate(64, backend="mmap"), np.memmap)
+        assert not isinstance(allocate(64, backend="ram"), np.memmap)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown heap backend"):
+            allocate(64, backend="bogus")
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(HEAP_BACKEND_ENV, "mmap")
+        assert isinstance(allocate(64), np.memmap)
+        monkeypatch.setenv(HEAP_BACKEND_ENV, "ram")
+        assert not isinstance(allocate(64), np.memmap)
+        monkeypatch.setenv(HEAP_BACKEND_ENV, "bogus")
+        with pytest.raises(ConfigError):
+            allocate(64)
+
+
+class TestBackendEquivalence:
+    def test_collections_identical_across_backends(self, monkeypatch,
+                                                   mixed_run):
+        """Collectors cannot tell the backends apart: the mmap-backed
+        mixed run records byte-for-byte the same traces."""
+        monkeypatch.setenv(HEAP_BACKEND_ENV, "mmap")
+        mmap_run = make_mixed_run()
+        assert [trace_to_dict(t) for t in mmap_run.traces] \
+            == [trace_to_dict(t) for t in mixed_run.traces]
+
+
+class TestPeakRss:
+    def test_scaled_heap_rss_stays_below_capacity(self):
+        """Peak RSS at a 10x-scaled heap must not track the configured
+        capacity (the bench_scale regression, in miniature): building
+        the heap and bitmaps under the mmap backend commits only the
+        pages actually touched."""
+        scale_bytes = 10 * 16 * (1 << 20)
+        # current VmRSS while the buffers are live, NOT ru_maxrss: a
+        # forked child's ru_maxrss inherits the parent's peak at fork
+        # time, which would make this measurement track the test
+        # runner's size instead of the heap's
+        script = (
+            "import json\n"
+            "from repro.config import default_config\n"
+            "from repro.heap.heap import JavaHeap\n"
+            f"config = default_config().with_heap_bytes({scale_bytes})\n"
+            "heap = JavaHeap(config.heap)\n"
+            "heap.buffer[:1 << 20] = 1  # touch only the first MiB\n"
+            "status = open('/proc/self/status').read()\n"
+            "rss = int(status.split('VmRSS:')[1].split()[0])\n"
+            "print(json.dumps({'peak_rss_bytes': rss * 1024}))\n")
+        process = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=REPO, text=True, capture_output=True,
+            env={"PYTHONPATH": str(REPO / "src"),
+                 HEAP_BACKEND_ENV: "mmap"})
+        assert process.returncode == 0, process.stderr
+        peak = json.loads(process.stdout)["peak_rss_bytes"]
+        # half the heap is generous headroom for interpreter + numpy,
+        # yet fails hard if anything commits the whole buffer
+        assert peak < scale_bytes / 2, (
+            f"peak RSS {peak / (1 << 20):.0f} MiB not decoupled from "
+            f"the {scale_bytes / (1 << 20):.0f} MiB heap")

@@ -20,8 +20,10 @@ from repro.gcalgo import trace_io
 from repro.gcalgo.columnar import STAT_FIELDS, compile_trace
 from repro.gcalgo.trace import (GCTrace, Primitive, ResidualWork,
                                 TraceEvent)
-from repro.gcalgo.trace_io import (load_compiled, load_traces,
-                                   save_traces, trace_to_dict)
+from repro.gcalgo.trace_io import (load_compiled, load_manifest,
+                                   load_summaries, load_traces,
+                                   save_traces, save_traces_npz,
+                                   stream_compiled, trace_to_dict)
 
 PHASES = ("setup", "root", "mark", "evacuate", "drain", "sweep",
           "summary")
@@ -104,6 +106,70 @@ class TestRoundTripProperties:
             assert list(loaded.residuals) == list(original.residuals)
 
 
+class TestChunkedLayout:
+    @settings(max_examples=25, deadline=None)
+    @given(batch=trace_lists, chunk_events=st.integers(1, 64))
+    def test_any_chunk_boundary_matches_monolithic(self, batch,
+                                                   chunk_events):
+        """Chunk size is a storage detail: every boundary — including
+        1-event chunks and a single chunk holding everything — loads
+        back identical to the monolithic layout, eagerly or streamed."""
+        with tempfile.TemporaryDirectory() as directory:
+            mono = Path(directory) / "mono.gctrace.npz"
+            chunked = Path(directory) / "chunked.gctrace.npz"
+            save_traces_npz(batch, mono, chunk_events=10**9)
+            save_traces_npz(batch, chunked, chunk_events=chunk_events)
+            eager, _ = load_compiled(chunked)
+            reference, _ = load_compiled(mono)
+            streamed = list(stream_compiled(chunked))
+            summaries = load_summaries(chunked)
+        assert [trace_to_dict(t.to_trace()) for t in eager] \
+            == [trace_to_dict(t.to_trace()) for t in reference]
+        for left, right in zip(eager, reference):
+            assert np.array_equal(left.events, right.events)
+        assert [trace_to_dict(t.to_trace()) for t in streamed] \
+            == [trace_to_dict(t.to_trace()) for t in eager]
+        assert summaries == [t.summary() for t in reference]
+
+    def test_single_chunk_keeps_monolithic_member_name(self, tmp_path,
+                                                       mixed_run):
+        """A trace that fits one chunk stays byte-layout-compatible
+        with pre-chunking readers: same member names as before."""
+        path = tmp_path / "run.gctrace.npz"
+        save_traces_npz(mixed_run.traces, path)
+        with zipfile.ZipFile(path) as archive:
+            names = archive.namelist()
+        assert "events_00000.npy" in names
+        assert not any(name.count("_") > 1 for name in names
+                       if name.startswith("events_"))
+
+    def test_chunked_members_are_indexed_per_trace(self, tmp_path,
+                                                   mixed_run):
+        path = tmp_path / "run.gctrace.npz"
+        save_traces_npz(mixed_run.traces, path, chunk_events=1)
+        with zipfile.ZipFile(path) as archive:
+            names = set(archive.namelist())
+        assert "events_00000_00000.npy" in names
+        assert "events_00000.npy" not in names
+        manifest = load_manifest(path)
+        for entry in manifest["traces"]:
+            assert entry["chunks"] == max(1, entry["events"])
+
+    def test_streaming_feed_replays_identically(self, tmp_path,
+                                                mixed_run):
+        """The generator feed drives the fast replayer to the same
+        result as the fully materialized list."""
+        from repro.platform.fast_replay import make_replayer
+        from tests.conftest import platform_for
+        path = tmp_path / "run.gctrace.npz"
+        save_traces_npz(mixed_run.traces, path, chunk_events=3)
+        eager = make_replayer(platform_for("charon")[0],
+                              threads=4).replay_all(load_compiled(path)[0])
+        streamed = make_replayer(platform_for("charon")[0],
+                                 threads=4).replay_all(stream_compiled(path))
+        assert eager == streamed
+
+
 def saved_npz(tmp_path, mixed_run):
     path = tmp_path / "run.gctrace.npz"
     save_traces(mixed_run.traces, path)
@@ -155,6 +221,52 @@ class TestTampering:
         path.write_text(json.dumps({"format": "something-else"}))
         with pytest.raises(ConfigError, match="not a gctrace"):
             load_traces(path)
+
+
+def corrupt_event_members(path):
+    """Rewrite the archive with every trace-0 event member replaced by
+    junk bytes, keeping the zip and the manifest readable."""
+    with zipfile.ZipFile(path) as archive:
+        members = [(name, archive.read(name))
+                   for name in archive.namelist()]
+    with zipfile.ZipFile(path, "w") as archive:
+        for name, data in members:
+            archive.writestr(name, b"junk bytes"
+                             if name.startswith("events_00000") else data)
+
+
+class TestLazyMemberAccess:
+    """Metadata queries must not decompress event members.
+
+    Pins the fix for the eager-``np.load`` regression: asking for the
+    manifest or the summaries used to materialize every event array.
+    Corrupting the event members while keeping the manifest intact
+    makes any hidden event read blow up loudly.
+    """
+
+    def test_summary_queries_skip_event_members(self, tmp_path,
+                                                mixed_run):
+        path = saved_npz(tmp_path, mixed_run)
+        expected = load_summaries(path)
+        corrupt_event_members(path)
+        manifest = load_manifest(path)
+        assert [entry["kind"] for entry in manifest["traces"]] \
+            == [trace.kind for trace in mixed_run.traces]
+        assert load_summaries(path) == expected
+
+    def test_eager_load_still_validates_event_members(self, tmp_path,
+                                                      mixed_run):
+        path = saved_npz(tmp_path, mixed_run)
+        corrupt_event_members(path)
+        with pytest.raises(ConfigError):
+            load_compiled(path)
+
+    def test_streaming_still_validates_event_members(self, tmp_path,
+                                                     mixed_run):
+        path = saved_npz(tmp_path, mixed_run)
+        corrupt_event_members(path)
+        with pytest.raises(ConfigError):
+            list(stream_compiled(path))
 
 
 class TestAtomicWrite:
