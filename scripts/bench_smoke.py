@@ -30,9 +30,13 @@ from __future__ import annotations
 import json
 import os
 import re
+import socket
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -234,10 +238,120 @@ def run_scale_bench() -> None:
           f"{report['heap_bytes'] / (1 << 20):.0f} MiB heap")
 
 
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eEnNaIf]+$")
+
+_LIVE_SWEEP_DRIVER = """
+import sys
+from repro.obs.tracer import install_env_exporters
+install_env_exporters()
+from repro.experiments.runner import replay_grid
+replay_grid(("ideal", "cpu-ddr4", "cpu-hmc", "charon",
+             "charon-cpuside"), ["graphchi-als"],
+            journal=sys.argv[1])
+"""
+
+
+def _scrape(port: int, path: str) -> str:
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5) as response:
+        return response.read().decode("utf-8")
+
+
+def run_live_observability_probe() -> None:
+    """Drive a journaled sweep with the live endpoint armed.
+
+    Polls ``/metrics`` and ``/progress`` while the sweep runs:
+    the exposition text must parse line by line, the completion
+    percentage must be monotone non-decreasing and reach 100%, and the
+    run-event log (written into the artifact dir, which CI uploads)
+    must carry the typed records the sweep emits.
+    """
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    eventlog_path = ARTIFACTS / "bench-smoke.events.jsonl"
+    eventlog_path.unlink(missing_ok=True)
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_METRICS_PORT"] = str(port)
+    env["REPRO_EVENTLOG"] = str(eventlog_path)
+    with tempfile.TemporaryDirectory(prefix="live-sweep-") as temp:
+        env["REPRO_TRACE_CACHE"] = str(Path(temp) / "cache")
+        journal = Path(temp) / "journal"
+        sweep = subprocess.Popen(
+            [sys.executable, "-c", _LIVE_SWEEP_DRIVER, str(journal)],
+            cwd=REPO, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        completions = []
+        exposition_checked = False
+        try:
+            while True:
+                finished = sweep.poll() is not None
+                try:
+                    body = _scrape(port, "/metrics")
+                    bad = [line for line in body.splitlines()
+                           if line and not line.startswith("#")
+                           and not _PROM_LINE.match(line)]
+                    if bad:
+                        sys.exit(f"bench smoke: invalid exposition "
+                                 f"line(s): {bad[:3]}")
+                    if body.strip():
+                        exposition_checked = True
+                    if _scrape(port, "/healthz").strip() != "ok":
+                        sys.exit("bench smoke: /healthz did not "
+                                 "answer ok")
+                    progress = json.loads(_scrape(port, "/progress"))
+                    if progress.get("available"):
+                        completions.append(progress["completion_pct"])
+                except (urllib.error.URLError, OSError,
+                        ConnectionError):
+                    pass  # server not up yet (or already exiting)
+                if finished:
+                    break
+                time.sleep(0.05)
+        finally:
+            output = sweep.communicate()[0]
+        if sweep.returncode != 0:
+            print(output)
+            sys.exit(f"bench smoke: live sweep failed "
+                     f"(exit {sweep.returncode})")
+        if not exposition_checked:
+            sys.exit("bench smoke: never scraped a non-empty "
+                     "/metrics exposition mid-run")
+        if not completions:
+            sys.exit("bench smoke: /progress never reported an "
+                     "active sweep")
+        if completions != sorted(completions):
+            sys.exit(f"bench smoke: completion % went backwards: "
+                     f"{completions}")
+        final = json.loads(
+            (journal / "progress.json").read_text())
+        if final["completion_pct"] != 100.0 \
+                or final["shards_pending"]:
+            sys.exit(f"bench smoke: sweep ended at "
+                     f"{final['completion_pct']}% with "
+                     f"{final['shards_pending']} pending shard(s)")
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.eventlog import read_events
+    events = {record["event"] for record in read_events(eventlog_path)}
+    missing = {"run_start", "gc_pause", "shard_claimed", "shard_done",
+               "run_end"} - events
+    if missing:
+        sys.exit(f"bench smoke: run-event log is missing record "
+                 f"type(s): {sorted(missing)}")
+    print(f"bench smoke: live observability OK — "
+          f"{len(completions)} /progress samples (monotone to 100%), "
+          f"exposition valid, event log at {eventlog_path.name}")
+
+
 def main() -> None:
     run_replay_kernel_bench()
     run_collect_bench()
     run_scale_bench()
+    run_live_observability_probe()
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))
         workloads = len(SMOKE_WORKLOADS.split(","))

@@ -122,6 +122,28 @@ def main() -> int:
         failures.append(f"{fallbacks:.0f} silent fallback(s) to "
                         f"event-by-event replay were recorded")
 
+    # Publish the verdict where live consumers see it: a gauge in the
+    # registry (scraped by /metrics when a port is armed) and a typed
+    # run-event record — a kernel-coverage regression then shows up on
+    # the instrument panel, not only in the CI log.
+    from repro.obs.eventlog import get_eventlog
+    from repro.obs.tracer import install_env_exporters
+    install_env_exporters()
+    coverage = global_metrics().scope("coverage")
+    coverage.gauge("fast_path_ok",
+                   "1 when every platform took the fast replay "
+                   "path").set(0.0 if failures else 1.0)
+    coverage.gauge("fast_path_failures",
+                   "fast-path coverage violations found").set(
+                       len(failures))
+    eventlog = get_eventlog()
+    if eventlog.enabled:
+        eventlog.emit("coverage_check", ok=not failures,
+                      failures=len(failures),
+                      platforms=len(PLATFORMS), threads=len(THREADS),
+                      trace_sets=len(trace_sets),
+                      detail=failures[:10])
+
     for failure in failures:
         print(f"fast-path coverage: {failure}", file=sys.stderr)
     if not failures:

@@ -172,6 +172,31 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", choices=("table", "json", "csv"),
                        default="table")
 
+    sweep = commands.add_parser(
+        "sweep", help="monitor a journaled replay_grid sweep")
+    sweep.add_argument("action", choices=("status",))
+    sweep.add_argument("--journal", default=None,
+                       help="journal directory (default "
+                            "$REPRO_SHARD_JOURNAL)")
+    sweep.add_argument("--format", choices=("table", "json"),
+                       default="table")
+    sweep.add_argument("--watch", action="store_true",
+                       help="redraw until the sweep completes")
+    sweep.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between --watch redraws")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="list every shard, not just the summary")
+
+    top = commands.add_parser(
+        "top", help="curses-free live view of a journaled sweep "
+                    "(active shards, rates, ETA)")
+    top.add_argument("--journal", default=None,
+                     help="journal directory (default "
+                          "$REPRO_SHARD_JOURNAL)")
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (scripts/tests)")
+
     timeline = commands.add_parser(
         "timeline", help="Chrome-trace span timeline of a replay "
                          "(load in Perfetto / chrome://tracing)")
@@ -421,8 +446,12 @@ def _cmd_stats(args) -> str:
     rows = []
     for sample in registry.samples():
         if sample["kind"] == "histogram":
+            # percentile() answers None on an empty histogram — keep
+            # the sentinel visible instead of faking a 0.
+            p99 = ("n/a" if sample["p99"] is None
+                   else f"{sample['p99']:.4g}")
             value = (f"n={sample['count']} mean={sample['mean']:.4g} "
-                     f"p99={sample['p99']:.4g}")
+                     f"p99={p99}")
         else:
             value = f"{sample['value']:.6g}"
         labels = ";".join(f"{key}={val}" for key, val
@@ -432,6 +461,58 @@ def _cmd_stats(args) -> str:
                      "labels": labels, "value": value})
     return render_table(
         rows, title=f"{args.workload} on {args.platform}")
+
+
+def _cmd_sweep(args) -> int:
+    """``repro sweep status [--watch]``: the progress monitor's view
+    of a journaled sweep (table or the shared JSON serializer)."""
+    import time as time_mod
+
+    from repro.experiments import progress, shard_journal
+
+    journal = shard_journal.journal_dir(args.journal)
+    if journal is None:
+        print("sweep: no journal (pass --journal or set "
+              f"{shard_journal.REPRO_SHARD_JOURNAL})", file=sys.stderr)
+        return 2
+    while True:
+        snapshot = progress.progress_snapshot(journal)
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(progress.format_status(snapshot,
+                                         verbose=args.verbose))
+        if not args.watch:
+            return 0 if snapshot.get("available") else 1
+        if snapshot.get("available") \
+                and snapshot["shards_done"] == snapshot["shards_total"]:
+            return 0
+        time_mod.sleep(args.interval)
+
+
+def _cmd_top(args) -> int:
+    """``repro top``: redraw the whole one-screen sweep view (ANSI
+    clear, no curses) until the sweep completes."""
+    import time as time_mod
+
+    from repro.experiments import progress, shard_journal
+
+    journal = shard_journal.journal_dir(args.journal)
+    if journal is None:
+        print("top: no journal (pass --journal or set "
+              f"{shard_journal.REPRO_SHARD_JOURNAL})", file=sys.stderr)
+        return 2
+    while True:
+        snapshot = progress.progress_snapshot(journal)
+        frame = progress.format_top(snapshot)
+        if args.once:
+            print(frame)
+            return 0 if snapshot.get("available") else 1
+        print("\033[2J\033[H" + frame, flush=True)
+        if snapshot.get("available") \
+                and snapshot["shards_done"] == snapshot["shards_total"]:
+            return 0
+        time_mod.sleep(args.interval)
 
 
 def _cmd_timeline(args) -> str:
@@ -606,6 +687,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_report(args))
     elif args.command == "stats":
         print(_cmd_stats(args))
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
+    elif args.command == "top":
+        return _cmd_top(args)
     elif args.command == "timeline":
         print(_cmd_timeline(args))
     elif args.command == "fuzz":

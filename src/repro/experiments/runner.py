@@ -31,7 +31,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
                           default_replay_config)
 from repro.errors import OutOfMemoryError
-from repro.experiments import shard_journal, trace_cache
+from repro.experiments import progress, shard_journal, trace_cache
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
 from repro.heap.heap import JavaHeap
 from repro.obs import provenance
@@ -264,13 +264,34 @@ def _sweep_journaled(directory: Path, jobs: List[tuple],
     and always a final serial pass in the parent, which doubles as the
     backstop should a worker die mid-shard (its claim is released by
     ``reset_claims`` on the next sweep, its result simply missing now).
+
+    The parent also announces the grid to the progress monitor
+    (``sweep.json`` + ``progress.json`` beside the journal, and the
+    live ``/progress`` endpoint when one is serving): every shard's
+    state is thereafter derivable from the journal itself, so watchers
+    see completion reach 100% exactly when the last shard persists —
+    memo-served cells are backfilled into the journal so they count as
+    done rather than lingering as phantom pendings.
     """
     shard_journal.reset_claims(directory)
     pending: Dict[str, tuple] = {}
+    manifest: Dict[str, dict] = {}
     for job in jobs:
+        platform_name, name, heap_bytes, threads = job
         memo_key = _memo_key(job)
         key = shard_journal.shard_key(memo_key)
+        manifest[key] = {
+            "platform": platform_name,
+            "workload": name,
+            "heap_bytes": heap_bytes,
+            "threads": threads,
+            "events": sum(len(trace) for trace
+                          in compiled_run_traces(name, heap_bytes)),
+        }
         if memo_key in _REPLAY_CACHE:
+            if not shard_journal.has_shard(directory, key):
+                shard_journal.store_shard(directory, key,
+                                          _REPLAY_CACHE[memo_key])
             continue
         cached = shard_journal.load_shard(directory, key)
         if cached is not None:
@@ -278,6 +299,9 @@ def _sweep_journaled(directory: Path, jobs: List[tuple],
             _REPLAY_CACHE[memo_key] = cached
         else:
             pending[key] = job
+    progress.write_sweep_manifest(directory, manifest)
+    progress.attach_live(directory)
+    progress.refresh_progress(directory)
     if processes > 1 and len(pending) > 1 and _fork_available():
         workers = min(processes, len(pending))
         payload = (str(directory), tuple(pending.items()))
@@ -289,6 +313,7 @@ def _sweep_journaled(directory: Path, jobs: List[tuple],
         result = shard_journal.load_shard(directory, key)
         if result is not None:
             _REPLAY_CACHE[_memo_key(job)] = result
+    progress.refresh_progress(directory)
 
 
 def _fork_available() -> bool:

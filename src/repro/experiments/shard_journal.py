@@ -31,12 +31,14 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 import warnings
 from pathlib import Path
 from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 from repro.config import SHARD_JOURNAL_ENV
 from repro.gcalgo.trace import Primitive
+from repro.obs.eventlog import get_eventlog
 from repro.platform.timing import GCTimingResult, PlatformEnergy
 
 #: Bump when the journal payload layout changes; skewed entries are
@@ -126,14 +128,23 @@ def shard_key(parts: tuple) -> str:
 
 # -- result payloads -------------------------------------------------------
 
-def result_to_dict(result: GCTimingResult) -> dict:
+def result_to_dict(result: GCTimingResult,
+                   meta: Optional[dict] = None) -> dict:
     """A JSON-ready payload that round-trips the result exactly.
 
     Ints are exact in JSON and floats survive through their shortest
     repr, so ``result_from_dict(result_to_dict(r)) == r`` field for
     field — the property the byte-identical resume guarantee rests on.
+
+    ``meta`` is an optional side-channel of *execution* metadata (owner
+    pid, host wall time) the progress monitor reads; it never feeds
+    back into the :class:`GCTimingResult`, so adding it needs no
+    format-version bump — :func:`result_from_dict` reads only the
+    result fields.
     """
+    payload_meta = {"meta": dict(meta)} if meta else {}
     return {
+        **payload_meta,
         "format": SHARD_FORMAT,
         "version": SHARD_FORMAT_VERSION,
         "platform": result.platform,
@@ -203,17 +214,27 @@ def _claim_path(directory: Path, key: str) -> Path:
 
 
 def store_shard(directory: Union[str, Path], key: str,
-                result: GCTimingResult) -> Path:
-    """Persist one shard's result atomically; returns the entry path."""
+                result: GCTimingResult,
+                meta: Optional[dict] = None) -> Path:
+    """Persist one shard's result atomically; returns the entry path.
+
+    ``meta`` (owner pid, host wall time, completion stamp) rides along
+    in the payload for the progress monitor; resumes ignore it.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = _result_path(directory, key)
     temp = path.with_name(path.name + f".tmp{os.getpid():x}")
-    temp.write_text(json.dumps(result_to_dict(result),
+    temp.write_text(json.dumps(result_to_dict(result, meta=meta),
                                separators=(",", ":")))
     temp.replace(path)
     STATS.add("stores")
     return path
+
+
+def has_shard(directory: Union[str, Path], key: str) -> bool:
+    """Whether the journal already holds a (possibly stale) entry."""
+    return _result_path(Path(directory), key).exists()
 
 
 def load_shard(directory: Union[str, Path],
@@ -251,7 +272,10 @@ def claim_shard(directory: Union[str, Path], key: str) -> bool:
     except FileExistsError:
         return False
     with os.fdopen(fd, "w") as handle:
-        handle.write(str(os.getpid()))
+        # Owner info for the progress monitor ("who holds this shard,
+        # since when"); the claim's *existence* is what arbitrates.
+        handle.write(json.dumps({"pid": os.getpid(),
+                                 "claimed_at": round(time.time(), 6)}))
     return True
 
 
@@ -295,17 +319,41 @@ def sweep_shards(directory: Union[str, Path],
     and stored, a lost claim race is counted as ``stolen`` and left to
     its winner.  Called concurrently from every pool worker (and once
     from the parent as the serial path / completeness backstop).
+
+    Each store carries execution metadata (owner pid, host seconds)
+    and, when a ``sweep.json`` manifest announces a monitored sweep,
+    re-derives ``progress.json`` so watchers see the shard land.
+    Claims and completions also land in the run-event log when armed.
     """
+    from repro.experiments import progress as progress_mod
     directory = Path(directory)
+    eventlog = get_eventlog()
+    if not eventlog.enabled:
+        eventlog = None
+    monitored = (directory / progress_mod.SWEEP_MANIFEST).exists()
     for key, job in shards.items():
         if _result_path(directory, key).exists():
             continue
         if not claim_shard(directory, key):
             STATS.add("stolen")
             continue
+        if eventlog:
+            eventlog.emit("shard_claimed", shard=key)
         try:
+            started = time.perf_counter()
             result = execute(job)
+            host_seconds = time.perf_counter() - started
             STATS.add("runs")
-            store_shard(directory, key, result)
+            store_shard(directory, key, result, meta={
+                "pid": os.getpid(),
+                "host_seconds": round(host_seconds, 6),
+                "completed_at": round(time.time(), 6),
+            })
+            if eventlog:
+                eventlog.emit("shard_done", shard=key,
+                              platform=result.platform,
+                              host_seconds=round(host_seconds, 6))
+            if monitored:
+                progress_mod.refresh_progress(directory)
         finally:
             release_claim(directory, key)

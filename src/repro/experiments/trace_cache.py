@@ -46,6 +46,7 @@ from repro.config import (SystemConfig, TRACE_CACHE_ENV,
 from repro.errors import ConfigError, ReproError
 from repro.gcalgo.columnar import CompiledTrace, TRACE_SCHEMA_VERSION
 from repro.gcalgo.trace_io import load_compiled, save_traces_npz
+from repro.obs.eventlog import get_eventlog
 from repro.workloads.mutator import WorkloadRun
 
 #: Bump when the functional collectors' *recording* changes (what events
@@ -220,12 +221,19 @@ def fetch_run(workload: str, config: SystemConfig,
         require = bool(os.environ.get(REPRO_TRACE_CACHE_REQUIRE))
     directory = cache_dir(directory)
     key = run_cache_key(workload, config)
+    eventlog = get_eventlog()
     if directory is not None:
         cached = load_run(directory, key)
         if cached is not None:
             STATS.add("hits")
+            if eventlog.enabled:
+                eventlog.emit("cache_hit", workload=workload,
+                              key=key[:12])
             return cached
         STATS.add("misses")
+        if eventlog.enabled:
+            eventlog.emit("cache_miss", workload=workload,
+                          key=key[:12])
     if require:
         raise TraceCacheMiss(
             f"no cached traces for workload {workload!r} (key "

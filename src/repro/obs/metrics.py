@@ -19,6 +19,7 @@ exporters in :mod:`repro.obs.export`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -114,20 +115,23 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
-    def percentile(self, p: float) -> float:
+    def percentile(self, p: float) -> Optional[float]:
         """Upper bucket bound covering the ``p``-th percentile.
 
         ``p`` is in ``[0, 100]``.  The answer is conservative: the
         smallest bucket bound below which at least ``p`` percent of the
         recorded values fall.  Values recorded beyond the last bound
         (the overflow bucket) clamp to the last bound — a fixed-bucket
-        histogram cannot resolve them further.  An empty histogram
-        answers ``0.0``.
+        histogram cannot resolve them further.  An **empty histogram
+        answers ``None``** — the sentinel distinguishes "no samples"
+        from a genuine 0.0 percentile (every exporter renders it as
+        JSON null / an empty CSV cell).  A single-sample histogram
+        answers that sample's bucket bound for every ``p``.
         """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.total == 0:
-            return 0.0
+            return None
         need = p / 100.0 * self.total
         cumulative = 0
         for index, count in enumerate(self.counts):
@@ -156,6 +160,12 @@ class MetricsRegistry:
         self._counters: "OrderedDict[str, Counter]" = OrderedDict()
         self._gauges: "OrderedDict[str, Gauge]" = OrderedDict()
         self._histograms: "OrderedDict[str, Histogram]" = OrderedDict()
+        # Guards registration and snapshot iteration (the live /metrics
+        # scraper reads from its own thread).  Counter.add / Gauge.set
+        # on already-registered metrics stay lock-free — a snapshot is
+        # point-in-time consistent per metric, which is all a scrape
+        # needs — so the simulation hot path pays nothing.
+        self._lock = threading.RLock()
 
     # -- registration ------------------------------------------------------
 
@@ -164,18 +174,20 @@ class MetricsRegistry:
         """Get or create the counter ``name`` (with optional labels)."""
         full = self._full(name)
         key = _render(full, _label_key(labels))
-        if key not in self._counters:
-            self._counters[key] = Counter(full, description, labels)
-        return self._counters[key]
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter(full, description, labels)
+            return self._counters[key]
 
     def gauge(self, name: str, description: str = "",
               **labels: object) -> Gauge:
         """Get or create the gauge ``name`` (with optional labels)."""
         full = self._full(name)
         key = _render(full, _label_key(labels))
-        if key not in self._gauges:
-            self._gauges[key] = Gauge(full, description, labels)
-        return self._gauges[key]
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(full, description, labels)
+            return self._gauges[key]
 
     def histogram(self, name: str, bounds: List[float],
                   description: str = "",
@@ -183,10 +195,11 @@ class MetricsRegistry:
         """Get or create the histogram ``name`` (with optional labels)."""
         full = self._full(name)
         key = _render(full, _label_key(labels))
-        if key not in self._histograms:
-            self._histograms[key] = Histogram(full, bounds, description,
-                                              labels)
-        return self._histograms[key]
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(full, bounds,
+                                                  description, labels)
+            return self._histograms[key]
 
     def scope(self, name: str) -> "MetricsRegistry":
         """A child view sharing storage but prefixing names with ``name``."""
@@ -194,6 +207,7 @@ class MetricsRegistry:
         child._counters = self._counters
         child._gauges = self._gauges
         child._histograms = self._histograms
+        child._lock = self._lock
         return child
 
     def _full(self, name: str) -> str:
@@ -223,15 +237,18 @@ class MetricsRegistry:
         count/sum/mean plus p50/p90/p99 summaries.
         """
         rows: List[Dict[str, object]] = []
-        for metric in list(self._counters.values()) \
-                + list(self._gauges.values()):
+        with self._lock:
+            scalars = list(self._counters.values()) \
+                + list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for metric in scalars:
             rows.append({
                 "metric": metric.name,
                 "kind": metric.kind,
                 "labels": dict(metric.labels),
                 "value": metric.value,
             })
-        for histogram in self._histograms.values():
+        for histogram in histograms:
             rows.append({
                 "metric": histogram.name,
                 "kind": histogram.kind,
@@ -243,6 +260,30 @@ class MetricsRegistry:
                 "p90": histogram.percentile(90),
                 "p99": histogram.percentile(99),
             })
+        return rows
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Deep-copied sample rows for the live exposition endpoint.
+
+        Like :meth:`samples` but histogram rows additionally carry the
+        bucket ``bounds`` and per-bucket ``bucket_counts`` (the final
+        entry being the overflow bucket) so a renderer can emit
+        Prometheus ``_bucket{le=...}`` series.  Every row is detached
+        from the live metric objects, so the caller can serialize at
+        leisure while the simulation keeps recording.
+        """
+        rows = self.samples()
+        with self._lock:
+            histograms = list(self._histograms.values())
+        extras = {(histogram.name, tuple(sorted(histogram.labels.items()))):
+                  (list(histogram.bounds), list(histogram.counts))
+                  for histogram in histograms}
+        for row in rows:
+            key = (row["metric"], tuple(sorted(row["labels"].items())))
+            if row["kind"] == "histogram" and key in extras:
+                bounds, counts = extras[key]
+                row["bounds"] = bounds
+                row["bucket_counts"] = counts
         return rows
 
     def reset(self) -> None:

@@ -30,7 +30,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.config import METRICS_OUT_ENV, TRACE_OUT_ENV
+from repro.config import (EVENTLOG_ENV, METRICS_OUT_ENV,
+                          METRICS_PORT_ENV, TRACE_OUT_ENV)
 
 CLOCK_SIM = "sim"
 CLOCK_HOST = "host"
@@ -212,8 +213,11 @@ def install_env_exporters(environ=None) -> Dict[str, str]:
     ``REPRO_TRACE_OUT=<path>`` enables the global tracer and writes the
     Chrome trace there at process exit; ``REPRO_METRICS_OUT=<path>``
     writes the global metrics registry's JSON snapshot (with the
-    trace-cache tally adapted in) at process exit.  Safe to call more
-    than once — each exporter installs a single time per process.
+    trace-cache tally adapted in) at process exit.  Live observability
+    arms here too: ``REPRO_EVENTLOG=<path>`` opens the JSONL run-event
+    log and ``REPRO_METRICS_PORT=<port>`` starts the ``/metrics``
+    exposition endpoint.  Safe to call more than once — each exporter
+    installs a single time per process.
     """
     environ = os.environ if environ is None else environ
     installed: Dict[str, str] = {}
@@ -228,6 +232,16 @@ def install_env_exporters(environ=None) -> Dict[str, str]:
         atexit.register(_write_metrics_snapshot, metrics_out)
         _INSTALLED.add(metrics_out)
         installed[METRICS_OUT_ENV] = metrics_out
+    # Lazy imports: the live modules cost nothing unless their
+    # environment knobs are actually set.
+    from repro.obs.eventlog import install_env_eventlog
+    eventlog_path = install_env_eventlog(environ)
+    if eventlog_path is not None:
+        installed[EVENTLOG_ENV] = eventlog_path
+    from repro.obs.live import install_env_live_server
+    live_port = install_env_live_server(environ)
+    if live_port is not None:
+        installed[METRICS_PORT_ENV] = str(live_port)
     return installed
 
 

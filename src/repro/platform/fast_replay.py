@@ -42,6 +42,7 @@ from repro.errors import ConfigError
 from repro.gcalgo.columnar import (CODE_TO_PRIMITIVE, CompiledTrace,
                                    compile_trace)
 from repro.gcalgo.trace import GCTrace, Primitive
+from repro.obs.eventlog import COLLECTOR_FOR_KIND, get_eventlog
 from repro.obs.tracer import get_tracer
 from repro.platform.base import (FAST_BATCHED, FAST_CLOSED_FORM,
                                  FAST_REFUSE, Platform)
@@ -163,9 +164,19 @@ class FastTraceReplayer(TraceReplayer):
         result = self._package(compiled.kind, gc_start, now,
                                flush_seconds, primitive_seconds,
                                residual_seconds, host_busy, before)
-        self._note_replay(len(compiled.events),
-                          perf_counter() - started,
+        host_seconds = perf_counter() - started
+        self._note_replay(len(compiled.events), host_seconds,
                           chunks=kernel.chunks_processed - chunks_before)
+        eventlog = get_eventlog()
+        if eventlog.enabled:
+            eventlog.emit(
+                "gc_pause",
+                collector=COLLECTOR_FOR_KIND.get(compiled.kind,
+                                                 compiled.kind),
+                kind=compiled.kind, platform=platform.name,
+                sim_ns=int((now - gc_start) * 1e9),
+                host_ns=int(host_seconds * 1e9),
+                events=len(compiled.events))
         return result
 
     # -- closed-form path ----------------------------------------------------
@@ -248,8 +259,18 @@ class FastTraceReplayer(TraceReplayer):
         result = self._package(compiled.kind, gc_start, now,
                                flush_seconds, primitive_seconds,
                                residual_seconds, host_busy, before)
-        self._note_replay(len(compiled.events),
-                          perf_counter() - started)
+        host_seconds = perf_counter() - started
+        self._note_replay(len(compiled.events), host_seconds)
+        eventlog = get_eventlog()
+        if eventlog.enabled:
+            eventlog.emit(
+                "gc_pause",
+                collector=COLLECTOR_FOR_KIND.get(compiled.kind,
+                                                 compiled.kind),
+                kind=compiled.kind, platform=platform.name,
+                sim_ns=int((now - gc_start) * 1e9),
+                host_ns=int(host_seconds * 1e9),
+                events=len(compiled.events))
         return result
 
 
@@ -280,6 +301,10 @@ def make_replayer(platform: Platform, threads: Optional[int] = None,
             "kernel_fallbacks",
             "auto-mode fallbacks to event-by-event replay",
             platform=platform.name).add(1)
+        eventlog = get_eventlog()
+        if eventlog.enabled:
+            eventlog.emit("fallback", platform=platform.name,
+                          to="event")
         return TraceReplayer(platform, threads=threads)
 
 

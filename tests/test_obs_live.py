@@ -1,0 +1,234 @@
+"""The live exposition endpoint: rendering, serving, env arming."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ConfigError, METRICS_PORT_ENV
+from repro.obs import live as live_mod
+from repro.obs.live import (LiveServer, install_env_live_server,
+                            render_prometheus)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def fresh_live_state():
+    live_mod.reset_installed_for_tests()
+    yield
+    live_mod.reset_installed_for_tests()
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5) as response:
+        return (response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("replay.kernel_events",
+                         platform="charon").add(42)
+        registry.gauge("cache.entries").set(3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_replay_kernel_events counter" in text
+        assert ('repro_replay_kernel_events{platform="charon"} 42'
+                in text)
+        assert "# TYPE repro_cache_entries gauge" in text
+        assert "repro_cache_entries 3" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.scope("gc").counter("pause-count").add(1)
+        text = render_prometheus(registry)
+        assert "repro_gc_pause_count 1" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("pause_s", [0.001, 0.01, 0.1])
+        histogram.record(0.0005)
+        histogram.record(0.005, 2)
+        histogram.record(5.0)  # overflow bucket
+        text = render_prometheus(registry)
+        assert 'repro_pause_s_bucket{le="0.001"} 1' in text
+        assert 'repro_pause_s_bucket{le="0.01"} 3' in text
+        assert 'repro_pause_s_bucket{le="0.1"} 3' in text
+        assert 'repro_pause_s_bucket{le="+Inf"} 4' in text
+        assert "repro_pause_s_count 4" in text
+        assert "repro_pause_s_sum" in text
+
+    def test_histogram_quantile_summaries(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("pause_s", [1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0):
+            histogram.record(value)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_pause_s_quantile gauge" in text
+        assert 'repro_pause_s_quantile{quantile="0.5"} 2' in text
+        assert 'repro_pause_s_quantile{quantile="0.99"} 4' in text
+
+    def test_empty_histogram_quantiles_render_nan(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_s", [1.0])
+        text = render_prometheus(registry)
+        assert 'repro_empty_s_quantile{quantile="0.5"} NaN' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", workload='sp"ark').add(1)
+        text = render_prometheus(registry)
+        assert 'workload="sp\\"ark"' in text
+
+    def test_label_variants_share_one_type_header(self):
+        registry = MetricsRegistry()
+        registry.counter("events", platform="charon").add(1)
+        registry.counter("events", platform="ideal").add(2)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_events counter") == 1
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_rows_are_detached(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.add(1)
+        rows = registry.snapshot()
+        counter.add(10)
+        assert rows[0]["value"] == 1.0
+
+    def test_snapshot_histogram_carries_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", [1.0, 2.0])
+        histogram.record(1.5)
+        (row,) = registry.snapshot()
+        assert row["bounds"] == [1.0, 2.0]
+        assert row["bucket_counts"] == [0, 1, 0]
+
+    def test_scope_shares_the_registration_lock(self):
+        registry = MetricsRegistry()
+        child = registry.scope("gc")
+        assert child._lock is registry._lock
+
+    def test_concurrent_registration_and_snapshot(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def register_loop():
+            for index in range(5000):
+                if stop.is_set():
+                    break
+                registry.counter(f"c{index % 50}", shard=index).add(1)
+
+        def snapshot_loop():
+            try:
+                while not stop.is_set():
+                    registry.snapshot()
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        writer = threading.Thread(target=register_loop, daemon=True)
+        reader = threading.Thread(target=snapshot_loop, daemon=True)
+        writer.start()
+        reader.start()
+        writer.join(30)
+        stop.set()
+        reader.join(30)
+        assert not writer.is_alive() and not reader.is_alive()
+        assert not errors
+
+
+class TestLiveServer:
+    def test_serves_metrics_progress_healthz(self):
+        registry = MetricsRegistry()
+        registry.counter("replay.kernel_events").add(7)
+        server = LiveServer(registry)
+        port = server.start(0)
+        try:
+            status, ctype, body = _get(port, "/metrics")
+            assert status == 200
+            assert ctype == live_mod.EXPOSITION_CONTENT_TYPE
+            assert "repro_replay_kernel_events 7" in body
+            status, _, body = _get(port, "/healthz")
+            assert (status, body) == (200, "ok\n")
+            status, ctype, body = _get(port, "/progress")
+            assert status == 200
+            assert json.loads(body) == {"available": False}
+        finally:
+            server.stop()
+
+    def test_progress_provider_is_served(self):
+        server = LiveServer(MetricsRegistry())
+        port = server.start(0)
+        try:
+            server.set_progress_provider(
+                lambda: {"shards_done": 3, "shards_total": 4})
+            _, _, body = _get(port, "/progress")
+            payload = json.loads(body)
+            assert payload["shards_done"] == 3
+            assert payload["available"] is True
+        finally:
+            server.stop()
+
+    def test_broken_provider_does_not_kill_the_server(self):
+        server = LiveServer(MetricsRegistry())
+        port = server.start(0)
+        try:
+            def explode():
+                raise RuntimeError("journal vanished")
+            server.set_progress_provider(explode)
+            _, _, body = _get(port, "/progress")
+            payload = json.loads(body)
+            assert payload["available"] is False
+            assert "journal vanished" in payload["error"]
+            status, _, _ = _get(port, "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self):
+        server = LiveServer(MetricsRegistry())
+        port = server.start(0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(port, "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_stop_frees_the_port_and_is_idempotent(self):
+        server = LiveServer(MetricsRegistry())
+        port = server.start(0)
+        server.stop()
+        server.stop()
+        assert not server.running
+        with pytest.raises((urllib.error.URLError, OSError)):
+            _get(port, "/healthz")
+
+
+class TestEnvInstall:
+    def test_unset_env_starts_nothing(self):
+        assert install_env_live_server(environ={}) is None
+        assert not live_mod.get_live_server().running
+
+    def test_env_starts_server_once(self):
+        env = {METRICS_PORT_ENV: "0"}
+        port = install_env_live_server(environ=env)
+        assert port is not None and port > 0
+        assert install_env_live_server(environ=env) is None
+        status, _, _ = _get(port, "/healthz")
+        assert status == 200
+
+    def test_invalid_port_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            install_env_live_server(environ={METRICS_PORT_ENV: "x"})
+        with pytest.raises(ConfigError):
+            install_env_live_server(
+                environ={METRICS_PORT_ENV: "70000"})

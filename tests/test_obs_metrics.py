@@ -91,11 +91,33 @@ def test_histogram_bounds_must_be_sorted():
 
 def test_percentile_validates_and_handles_empty():
     hist = Histogram("h", [1.0, 2.0])
-    assert hist.percentile(50) == 0.0
+    # No samples -> the documented None sentinel (distinguishable from
+    # a genuine 0.0 percentile), at every p including the edges.
+    assert hist.percentile(50) is None
+    assert hist.percentile(0) is None
+    assert hist.percentile(100) is None
     with pytest.raises(ValueError):
         hist.percentile(-1)
     with pytest.raises(ValueError):
         hist.percentile(101)
+
+
+def test_percentile_single_sample():
+    hist = Histogram("h", [1.0, 2.0, 4.0])
+    hist.record(1.5)
+    # One sample: every percentile answers that sample's bucket bound.
+    for p in (0, 1, 50, 99, 100):
+        assert hist.percentile(p) == 2.0
+
+
+def test_empty_histogram_samples_row_carries_none_percentiles():
+    registry = MetricsRegistry()
+    registry.histogram("empty_h", [1.0, 2.0])
+    row = [r for r in registry.samples()
+           if r["metric"] == "empty_h"][0]
+    assert row["count"] == 0
+    assert row["p50"] is None and row["p90"] is None \
+        and row["p99"] is None
 
 
 def test_percentile_conservative_bucket_answer():

@@ -95,3 +95,110 @@ def test_runner_records_provenance_with_matching_hash():
     assert run["host_seconds"] > 0.0
     assert run["config_hash"] == trace_cache.run_cache_key(
         "graphchi-als", workload_config("graphchi-als", heap_bytes))
+
+
+class TestJournaledSweepProvenance:
+    """Provenance under durable sweeps: one entry per capture, the
+    hash naming a real cache entry — across kills and resumes."""
+
+    WORKLOAD = "graphchi-als"
+    PLATFORMS = ("cpu-ddr4", "ideal", "charon")
+
+    @pytest.fixture(autouse=True)
+    def isolated_sweep(self, tmp_path, monkeypatch):
+        from repro.config import TRACE_CACHE_ENV
+        from repro.experiments import shard_journal
+        from repro.experiments.runner import clear_cache
+
+        monkeypatch.delenv(shard_journal.REPRO_SHARD_JOURNAL,
+                           raising=False)
+        self.cache_dir = tmp_path / "trace-cache"
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(self.cache_dir))
+        clear_cache()
+        shard_journal.reset_stats()
+        yield
+        clear_cache()
+        shard_journal.reset_stats()
+
+    def _assert_one_run_with_disk_entry(self):
+        runs = provenance.session_runs()
+        captures = [run for run in runs
+                    if run["workload"] == self.WORKLOAD]
+        assert len(captures) == 1  # one capture, however many shards
+        (capture,) = captures
+        key = trace_cache.run_cache_key(
+            self.WORKLOAD, workload_config(self.WORKLOAD))
+        assert capture["config_hash"] == key
+        # The hash is not an orphan: it names the cache entry the
+        # sweep's shards replayed from.
+        assert (self.cache_dir / f"{key}.npz").exists()
+        return capture
+
+    def test_journaled_sweep_records_one_run_per_workload(
+            self, tmp_path):
+        from repro.experiments.runner import replay_grid
+
+        replay_grid(self.PLATFORMS, [self.WORKLOAD],
+                    journal=tmp_path / "journal")
+        capture = self._assert_one_run_with_disk_entry()
+        assert capture["cache"] in ("hit", "generated")
+        manifest = provenance.build_manifest(command="sweep")
+        assert manifest["runs"] == provenance.session_runs()
+
+    def test_forked_sweep_workers_share_the_config_hash(
+            self, tmp_path):
+        from repro.experiments.runner import (_fork_available,
+                                              replay_grid)
+
+        if not _fork_available():
+            pytest.skip("no fork start method on this platform")
+        replay_grid(self.PLATFORMS, [self.WORKLOAD], processes=2,
+                    journal=tmp_path / "journal")
+        # Workers record provenance in their own processes; the parent
+        # session must still hold exactly one capture entry whose hash
+        # names the single cache entry every worker replayed from.
+        self._assert_one_run_with_disk_entry()
+        assert len(list(self.cache_dir.glob("*.npz"))) == 1
+
+    def test_resume_after_kill_does_not_duplicate_entries(
+            self, tmp_path):
+        import multiprocessing
+        import os as os_mod
+
+        from repro.experiments import shard_journal
+        from repro.experiments.runner import clear_cache, replay_grid
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("no fork start method on this platform")
+        journal = tmp_path / "journal"
+
+        def crash_after_first_shard():
+            original = shard_journal.store_shard
+
+            def store_and_die(directory, key, result, **kwargs):
+                original(directory, key, result, **kwargs)
+                os_mod._exit(9)
+
+            shard_journal.store_shard = store_and_die
+            replay_grid(self.PLATFORMS, [self.WORKLOAD],
+                        journal=journal)
+
+        sweep = context.Process(target=crash_after_first_shard)
+        sweep.start()
+        sweep.join()
+        assert sweep.exitcode == 9
+
+        clear_cache()
+        provenance.reset_session()
+        replay_grid(self.PLATFORMS, [self.WORKLOAD], journal=journal)
+        capture = self._assert_one_run_with_disk_entry()
+        # The capture survived the kill, so the resume replays it from
+        # the cache rather than re-generating it.
+        assert capture["cache"] == "hit"
+        path = provenance.write_manifest(tmp_path / "out",
+                                         command="resumed sweep")
+        assert provenance.round_trips(path)
+        assert len(provenance.load_manifest(path)["runs"]) \
+            == len(provenance.session_runs())

@@ -112,8 +112,8 @@ class TestShardJournal:
         def crash_after_first_shard():
             original = shard_journal.store_shard
 
-            def store_and_die(directory, key, result):
-                original(directory, key, result)
+            def store_and_die(directory, key, result, **kwargs):
+                original(directory, key, result, **kwargs)
                 os._exit(9)
 
             shard_journal.store_shard = store_and_die
