@@ -196,10 +196,12 @@ def _time_end_to_end(mode: str) -> float:
 def main() -> int:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 \
         else REPO / "BENCH_collect.json"
+    from bench_meta import bench_metadata
+
     report = {"heap_bytes": HEAP_BYTES, "seed": SEED,
               "repeats": REPEATS, "floor": FLOOR,
               "floor_scenarios": list(FLOOR_SCENARIOS),
-              "scenarios": {}}
+              "scenarios": {}, **bench_metadata()}
     failures = []
     floor_scalar = floor_fast = 0.0
     for name in ("minor", "major", "sweep", "g1"):

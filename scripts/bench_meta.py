@@ -1,0 +1,35 @@
+"""Shared provenance stamp for every ``BENCH_*.json`` report.
+
+Each benchmark writer merges :func:`bench_metadata` into its report so
+an archived artifact is self-describing: which commit produced it and
+when.  Kept dependency-free (stdlib only) — the bench scripts import it
+by file-system proximity (their own directory is on ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import subprocess
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def bench_metadata() -> dict:
+    """``{"git_sha": ..., "generated_at": ...}`` for a report.
+
+    The sha degrades to ``"unknown"`` outside a git checkout (an
+    unpacked source artifact) rather than failing the benchmark.
+    """
+    try:
+        process = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+        sha = process.stdout.strip() if process.returncode == 0 else ""
+    except OSError:
+        sha = ""
+    return {
+        "git_sha": sha or "unknown",
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+                                .isoformat(timespec="seconds"),
+    }

@@ -79,9 +79,12 @@ def main() -> int:
     compiled = compile_traces(traces)
     events = sum(len(trace.events) for trace in traces)
 
+    from bench_meta import bench_metadata
+
     report = {"workload": "spark-bs (TinySpark test trace set)",
               "gc_events": events, "threads": THREADS,
-              "repeats": REPEATS, "platforms": {}}
+              "repeats": REPEATS, "platforms": {},
+              **bench_metadata()}
     failures = []
     for name in PLATFORMS:
         # Equivalence first (fresh platforms, single replay each).

@@ -158,8 +158,11 @@ def main() -> None:
                  f"not below the {heap_bytes / (1 << 20):.0f} MiB "
                  f"scaled heap — the lazy-heap/streaming path "
                  f"regressed")
+    from bench_meta import bench_metadata
+
     report = {
         "benchmark": "scale",
+        **bench_metadata(),
         "workloads": list(WORKLOADS),
         "platform": PLATFORM,
         "threads": THREADS,

@@ -238,6 +238,46 @@ def run_scale_bench() -> None:
           f"{report['heap_bytes'] / (1 << 20):.0f} MiB heap")
 
 
+def run_sweep_bench() -> None:
+    """Run the warm-sweep benchmark and validate its report.
+
+    ``bench_sweep.py`` runs the same grid cold (empty caches, serial)
+    and warm (populated caches, warm pool, cache-require armed) and
+    exits non-zero below the 2x warm-over-cold floor, on any stage-1
+    miss during the warm run, or if the two result sets are not
+    bit-exact.
+    """
+    report_path = ARTIFACTS / "BENCH_sweep.json"
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    process = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "bench_sweep.py"),
+         str(report_path)],
+        cwd=REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if process.returncode != 0:
+        print(process.stdout)
+        sys.exit(f"bench smoke: sweep benchmark failed "
+                 f"(exit {process.returncode})")
+    report = json.loads(report_path.read_text())
+    if report.get("speedup", 0.0) < report.get("floor", 2.0):
+        sys.exit(f"bench smoke: BENCH_sweep.json warm speedup "
+                 f"{report.get('speedup', 0.0):.1f}x is below the "
+                 f"floor")
+    if not report.get("bit_exact"):
+        sys.exit("bench smoke: BENCH_sweep.json warm results are not "
+                 "bit-exact")
+    warm = report.get("warm", {}).get("stage1", {})
+    if warm.get("misses", 1) != 0 or warm.get("hits", 0) <= 0:
+        sys.exit(f"bench smoke: warm sweep stage-1 tally is not "
+                 f"all-hit: {warm}")
+    if not report.get("git_sha") or not report.get("generated_at"):
+        sys.exit("bench smoke: BENCH_sweep.json is missing the "
+                 "git_sha/generated_at provenance stamp")
+    print(f"bench smoke: sweep report OK — warm "
+          f"{report['speedup']:.1f}x over cold, "
+          f"{warm['hits']} stage-1 hit(s), 0 miss(es), bit-exact")
+
+
 _PROM_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eEnNaIf]+$")
 
@@ -351,6 +391,7 @@ def main() -> None:
     run_replay_kernel_bench()
     run_collect_bench()
     run_scale_bench()
+    run_sweep_bench()
     run_live_observability_probe()
     with tempfile.TemporaryDirectory(prefix="trace-cache-") as cache:
         first = cache_tally(run_bench(cache, require=False))

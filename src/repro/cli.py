@@ -173,11 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table")
 
     sweep = commands.add_parser(
-        "sweep", help="monitor a journaled replay_grid sweep")
-    sweep.add_argument("action", choices=("status",))
+        "sweep", help="run or monitor a (journaled) replay_grid sweep")
+    sweep.add_argument("action", choices=("status", "run"))
     sweep.add_argument("--journal", default=None,
                        help="journal directory (default "
                             "$REPRO_SHARD_JOURNAL)")
+    sweep.add_argument("--platforms", default=None,
+                       help="comma-separated platform subset for "
+                            "'run' (default: all)")
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset for "
+                            "'run' (default: all Table 3 workloads)")
+    sweep.add_argument("--heap-mb", type=int, default=None)
+    sweep.add_argument("--threads", type=int, default=None)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for 'run' (default "
+                            "$REPRO_JOBS; REPRO_WARM_POOL reuses one "
+                            "warm pool across invocations)")
     sweep.add_argument("--format", choices=("table", "json"),
                        default="table")
     sweep.add_argument("--watch", action="store_true",
@@ -369,26 +381,45 @@ def _cmd_replay(args) -> str:
 
 
 def _cmd_cache(args) -> str:
-    from repro.experiments import trace_cache
+    from repro.experiments import stage1_cache, trace_cache
 
     directory = trace_cache.cache_dir(args.dir)
+    stage1_dir = stage1_cache.cache_dir()
     if args.action == "path":
-        return str(directory) if directory is not None else \
-            "trace cache disabled (set REPRO_TRACE_CACHE or --dir)"
+        lines = [str(directory) if directory is not None else
+                 "trace cache disabled (set REPRO_TRACE_CACHE or "
+                 "--dir)"]
+        lines.append(f"stage-1 cache: {stage1_dir}"
+                     if stage1_dir is not None else
+                     "stage-1 cache disabled (set REPRO_STAGE1_CACHE)")
+        return "\n".join(lines)
     if args.action == "clear":
         removed = trace_cache.clear(args.dir)
-        return f"removed {removed} trace-cache entr" \
-               f"{'y' if removed == 1 else 'ies'}"
+        removed_stage1 = stage1_cache.clear()
+        return (f"removed {removed} trace-cache entr"
+                f"{'y' if removed == 1 else 'ies'}, "
+                f"{removed_stage1} stage-1 entr"
+                f"{'y' if removed_stage1 == 1 else 'ies'}")
+    lines = []
     if directory is None or not directory.exists():
-        return "trace cache disabled or empty; " + \
-            trace_cache.stats_line()
-    entries = sorted(directory.glob("*.npz"))
-    total = sum(path.stat().st_size for path in entries)
-    lines = [f"{directory}: {len(entries)} entries, "
-             f"{total / 2**20:.2f} MB"]
-    lines += [f"  {path.name}  {path.stat().st_size / 2**10:.1f} KB"
-              for path in entries]
-    lines.append(trace_cache.stats_line())
+        lines.append("trace cache disabled or empty; " +
+                     trace_cache.stats_line())
+    else:
+        entries = sorted(path for path in directory.glob("*.npz")
+                         if not path.name.endswith(".stage1.npz"))
+        total = sum(path.stat().st_size for path in entries)
+        lines.append(f"{directory}: {len(entries)} entries, "
+                     f"{total / 2**20:.2f} MB")
+        lines += [f"  {path.name}  "
+                  f"{path.stat().st_size / 2**10:.1f} KB"
+                  for path in entries]
+        lines.append(trace_cache.stats_line())
+    if stage1_dir is not None and stage1_dir.exists():
+        entries = sorted(stage1_dir.glob("*.stage1.npz"))
+        total = sum(path.stat().st_size for path in entries)
+        lines.append(f"stage-1 {stage1_dir}: {len(entries)} entries, "
+                     f"{total / 2**20:.2f} MB")
+    lines.append(stage1_cache.stats_line())
     return "\n".join(lines)
 
 
@@ -413,7 +444,9 @@ def _cmd_stats(args) -> str:
     from repro.heap.heap import JavaHeap
     from repro.obs.adapters import (device_metrics, heap_kernel_metrics,
                                     hmc_metrics, replay_kernel_metrics,
-                                    timing_metrics, trace_cache_metrics)
+                                    stage1_cache_metrics,
+                                    timing_metrics, trace_cache_metrics,
+                                    warm_sweep_metrics)
     from repro.obs.export import metrics_csv, metrics_snapshot
     from repro.obs.metrics import MetricsRegistry
     from repro.platform import FastTraceReplayer, make_replayer
@@ -434,6 +467,8 @@ def _cmd_stats(args) -> str:
     replay_kernel_metrics(registry)
     heap_kernel_metrics(registry)
     trace_cache_metrics(registry)
+    stage1_cache_metrics(registry)
+    warm_sweep_metrics(registry)
     if platform.device is not None:
         device_metrics(registry, platform.device)
     if platform.hmc is not None:
@@ -464,11 +499,34 @@ def _cmd_stats(args) -> str:
 
 
 def _cmd_sweep(args) -> int:
-    """``repro sweep status [--watch]``: the progress monitor's view
-    of a journaled sweep (table or the shared JSON serializer)."""
+    """``repro sweep run`` executes a grid sweep through
+    ``replay_grid`` (journaled when a journal is configured, warm-pool
+    fan-out when ``REPRO_WARM_POOL``/spawn routing engages);
+    ``repro sweep status [--watch]`` is the progress monitor's view of
+    a journaled sweep (table or the shared JSON serializer)."""
     import time as time_mod
 
     from repro.experiments import progress, shard_journal
+
+    if args.action == "run":
+        from repro.experiments import stage1_cache, trace_cache
+        from repro.workloads.registry import TABLE3_WORKLOADS
+
+        platforms = (args.platforms.split(",") if args.platforms
+                     else list(PLATFORM_NAMES))
+        workloads = (args.workloads.split(",") if args.workloads
+                     else list(TABLE3_WORKLOADS))
+        heap_bytes = args.heap_mb * (1 << 20) if args.heap_mb else None
+        grid = replay_grid(platforms, workloads,
+                           heap_bytes=heap_bytes, threads=args.threads,
+                           processes=args.jobs, journal=args.journal)
+        for (platform, workload), result in grid.items():
+            print(f"{platform:18s} {workload:16s} "
+                  f"{result.wall_seconds * 1e3:10.3f} ms  "
+                  f"{result.energy.total_j * 1e3:8.2f} mJ")
+        print(trace_cache.stats_line())
+        print(stage1_cache.stats_line())
+        return 0
 
     journal = shard_journal.journal_dir(args.journal)
     if journal is None:

@@ -493,6 +493,9 @@ SHARD_JOURNAL_ENV = "REPRO_SHARD_JOURNAL"      #: sweep-shard directory
 METRICS_PORT_ENV = "REPRO_METRICS_PORT"        #: live /metrics endpoint
 EVENTLOG_ENV = "REPRO_EVENTLOG"                #: JSONL run-event log
 EVENTLOG_MAX_BYTES_ENV = "REPRO_EVENTLOG_MAX_BYTES"  #: rotation size
+STAGE1_CACHE_ENV = "REPRO_STAGE1_CACHE"        #: stage-1 product cache
+STAGE1_CACHE_REQUIRE_ENV = "REPRO_STAGE1_CACHE_REQUIRE"  #: miss = error
+WARM_POOL_ENV = "REPRO_WARM_POOL"              #: persistent sweep pool
 
 REPLAY_MODES = ("auto", "fast", "event")
 

@@ -31,7 +31,8 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.config import (REPLAY_JOBS_ENV, SystemConfig, default_config,
                           default_replay_config)
 from repro.errors import OutOfMemoryError
-from repro.experiments import progress, shard_journal, trace_cache
+from repro.experiments import (progress, shard_journal, shm_store,
+                               trace_cache, workers)
 from repro.gcalgo.columnar import CompiledTrace, compile_traces
 from repro.heap.heap import JavaHeap
 from repro.obs import provenance
@@ -151,7 +152,6 @@ def replay_platform(platform_name: str, name: str,
     that declare the vectorized fast path equivalent replay the
     compiled columnar traces; the rest replay event by event.
     """
-    run = collect_run(name, heap_bytes)
     resolved_config = config or workload_config(name, heap_bytes)
     # REPRO_REPLAY_MODE pins the replayer for the whole pipeline:
     # "fast" turns silent fallbacks into hard errors (the CI coverage
@@ -164,10 +164,14 @@ def replay_platform(platform_name: str, name: str,
                         klasses=workload_klasses())
         platform = build_platform(platform_name, resolved_config, heap)
         replayer = make_replayer(platform, threads=threads, mode=mode)
+        # The compiled-trace path never needs the WorkloadRun itself,
+        # so a warm worker whose _COMPILED_CACHE was primed (from the
+        # trace cache or a shared-memory attachment) replays without
+        # capturing — only the event-by-event path demands the run.
         if isinstance(replayer, FastTraceReplayer):
             traces: Iterable = compiled_run_traces(name, heap_bytes)
         else:
-            traces = run.traces
+            traces = collect_run(name, heap_bytes).traces
         with get_tracer().span("replay", cat="runner", workload=name,
                                platform=platform_name):
             result = replayer.replay_all(traces)
@@ -199,6 +203,25 @@ def _journal_worker(payload: tuple) -> None:
                                _grid_worker)
 
 
+def _publish_runs(jobs: Iterable[tuple]) -> tuple:
+    """Publish the jobs' compiled traces to the shared-memory store.
+
+    Returns ``((run_key, handles), ...)`` for the warm-pool payloads;
+    each distinct (workload, heap) publishes once, and repeat grids
+    over the same runs reuse the existing segments.
+    """
+    published = []
+    seen = set()
+    for _, name, heap_bytes, _ in jobs:
+        key = (name, heap_bytes or default_heap_bytes(name))
+        if key in seen:
+            continue
+        seen.add(key)
+        published.append((key,
+                          shm_store.publish(key, _COMPILED_CACHE[key])))
+    return tuple(published)
+
+
 def replay_grid(platform_names: Iterable[str],
                 workload_names: Iterable[str],
                 heap_bytes: Optional[int] = None,
@@ -208,12 +231,16 @@ def replay_grid(platform_names: Iterable[str],
                 ) -> Dict[Tuple[str, str], GCTimingResult]:
     """Replay every platform x workload pair; returns the result grid.
 
-    ``processes`` > 1 fans the pairs out over forked worker processes
+    ``processes`` > 1 fans the pairs out over worker processes
     (default from ``REPRO_JOBS``).  Workload runs are captured in the
     parent first, so children inherit the traces instead of
     regenerating them; results merge back in job order, so the outcome
     — including the parent's replay memo — is identical to a serial
-    sweep regardless of worker scheduling.
+    sweep regardless of worker scheduling.  With ``REPRO_WARM_POOL``
+    set (or on spawn-only platforms, always) the fan-out runs on the
+    persistent pool from :mod:`~repro.experiments.workers`: compiled
+    traces travel through the zero-copy shared-memory store and the
+    workers stay warm across calls.
 
     With a journal directory (``journal=`` or ``REPRO_SHARD_JOURNAL``)
     the sweep becomes durable and work-stealing: each cell is a shard
@@ -239,19 +266,44 @@ def replay_grid(platform_names: Iterable[str],
     else:
         pending = [job for job in jobs
                    if _memo_key(job) not in _REPLAY_CACHE]
-        if processes > 1 and len(pending) > 1 and _fork_available():
-            context = multiprocessing.get_context("fork")
-            with context.Pool(min(processes, len(pending))) as pool:
-                results = pool.map(_grid_worker, pending)
+        results = None
+        if processes > 1 and len(pending) > 1:
+            pool = (workers.get_pool(processes)
+                    if workers.use_warm_pool() else None)
+            if pool is not None:
+                published = _publish_runs(pending)
+                results = pool.map(workers._warm_cell,
+                                   [(published, job)
+                                    for job in pending])
+            elif _fork_available():
+                workers.note_start_method("fork")
+                context = multiprocessing.get_context("fork")
+                with context.Pool(min(processes,
+                                      len(pending))) as forked:
+                    # chunksize=1: cells are coarse and uneven, and
+                    # contiguous chunking can serialize the most
+                    # expensive ones onto a single worker.
+                    results = forked.map(_grid_worker, pending,
+                                         chunksize=1)
+        if results is not None:
             for job, result in zip(pending, results):
                 _REPLAY_CACHE[_memo_key(job)] = result
         else:
             for job in pending:
                 _grid_worker(job)
-    return {(platform, name): replay_platform(platform, name,
-                                              heap_bytes=heap_bytes,
-                                              threads=threads)
-            for platform, name, _, _ in jobs}
+    # Journal/memo hits return straight from the replay memo — the old
+    # per-cell replay_platform rebuild re-derived every memo key (and
+    # config) even when nothing was left to replay.
+    grid: Dict[Tuple[str, str], GCTimingResult] = {}
+    for job in jobs:
+        platform, name, job_heap, job_threads = job
+        result = _REPLAY_CACHE.get(_memo_key(job))
+        if result is None:  # backstop: a worker died mid-cell
+            result = replay_platform(platform, name,
+                                     heap_bytes=job_heap,
+                                     threads=job_threads)
+        grid[(platform, name)] = result
+    return grid
 
 
 def _sweep_journaled(directory: Path, jobs: List[tuple],
@@ -302,12 +354,20 @@ def _sweep_journaled(directory: Path, jobs: List[tuple],
     progress.write_sweep_manifest(directory, manifest)
     progress.attach_live(directory)
     progress.refresh_progress(directory)
-    if processes > 1 and len(pending) > 1 and _fork_available():
-        workers = min(processes, len(pending))
-        payload = (str(directory), tuple(pending.items()))
-        context = multiprocessing.get_context("fork")
-        with context.Pool(workers) as pool:
-            pool.map(_journal_worker, [payload] * workers)
+    if processes > 1 and len(pending) > 1:
+        stealers = min(processes, len(pending))
+        pool = (workers.get_pool(processes)
+                if workers.use_warm_pool() else None)
+        if pool is not None:
+            payload = (_publish_runs(pending.values()),
+                       str(directory), tuple(pending.items()))
+            pool.map(workers._warm_journal, [payload] * stealers)
+        elif _fork_available():
+            workers.note_start_method("fork")
+            payload = (str(directory), tuple(pending.items()))
+            context = multiprocessing.get_context("fork")
+            with context.Pool(stealers) as forked:
+                forked.map(_journal_worker, [payload] * stealers)
     shard_journal.sweep_shards(directory, pending, _grid_worker)
     for key, job in pending.items():
         result = shard_journal.load_shard(directory, key)
@@ -317,8 +377,10 @@ def _sweep_journaled(directory: Path, jobs: List[tuple],
 
 
 def _fork_available() -> bool:
-    # Without fork the children would re-import cold and regenerate
-    # every run; a serial sweep is strictly cheaper then.
+    # Gates only the classic pool-per-call path: a fresh *spawn* pool
+    # per grid would re-import cold every time, so spawn-only
+    # platforms route through the persistent warm pool instead (see
+    # workers.use_warm_pool) — never the old serial fallback.
     try:
         multiprocessing.get_context("fork")
     except ValueError:

@@ -1,0 +1,250 @@
+"""Zero-copy shared-memory store for compiled traces.
+
+``replay_grid`` captures every workload run in the parent, but pool
+workers that did not inherit those pages — a spawn-started pool, or a
+warm pool forked before the traces existed — historically re-loaded
+(and re-decompressed) the same columnar ``.npz`` per worker.  This
+module publishes each compiled trace's event columns **once** into
+:mod:`multiprocessing.shared_memory` segments; workers reconstruct
+read-only numpy views over the same physical pages, so a trace costs
+one copy system-wide no matter how many workers replay it (and the
+``bench_scale`` RSS contract keeps holding: shared pages are counted
+once).
+
+Lifecycle:
+
+* :func:`publish` creates the segments for a trace list under a key
+  (idempotent per key — republishing bumps a refcount and returns the
+  existing handles).  Handles are small picklable dicts (segment name,
+  event count, trace metadata) that travel to workers inside job
+  payloads.
+* :func:`attach` (worker side) maps the named segments and rebuilds
+  :class:`~repro.gcalgo.columnar.CompiledTrace` objects whose
+  ``events`` are zero-copy views; attachments are memoized per segment
+  so repeated cells on a warm worker reuse the mapping.
+* :func:`release` decrements a key's refcount and unlinks at zero;
+  :func:`shutdown` (registered ``atexit`` in the owning process)
+  closes and unlinks everything this process published, so ``/dev/shm``
+  is left clean even after an aborted sweep.  Workers only ever
+  ``close`` their mappings — POSIX keeps an unlinked segment alive
+  until the last mapping drops, so the parent may unlink eagerly while
+  warm workers stay attached.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.trace_cache import CacheStats
+from repro.gcalgo.columnar import (CompiledTrace, EVENT_DTYPE,
+                                   STAT_FIELDS, TRACE_SCHEMA_VERSION)
+from repro.gcalgo.trace import ResidualWork
+from repro.obs.eventlog import get_eventlog
+
+
+class ShmStats(CacheStats):
+    """Fork-shared tally of the store's lifecycle events."""
+
+    FIELDS = ("publishes", "attaches", "releases", "unlinks")
+
+
+#: Cumulative store behaviour for this process tree.
+STATS = ShmStats()
+
+
+class _Publication:
+    """One published trace list: its handles, segments and refcount."""
+
+    def __init__(self, handles: List[dict],
+                 segments: List[shared_memory.SharedMemory]) -> None:
+        self.handles = handles
+        self.segments = segments
+        self.refs = 1
+
+
+#: Publications owned by this process, by caller key.
+_PUBLISHED: Dict[tuple, _Publication] = {}
+#: Worker-side mappings, by segment name (kept open between cells).
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+_LOCK = threading.Lock()
+_SEQUENCE = 0
+
+
+def reset_stats() -> None:
+    STATS.update(publishes=0, attaches=0, releases=0, unlinks=0)
+
+
+def _segment_name() -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"repro_shm_{os.getpid():x}_{_SEQUENCE:x}"
+
+
+def publish(key: tuple,
+            traces: Sequence[CompiledTrace]) -> Tuple[dict, ...]:
+    """Publish ``traces`` under ``key``; returns the picklable handles.
+
+    Idempotent per key: a repeat publish bumps the refcount and returns
+    the existing handles without copying anything.
+    """
+    with _LOCK:
+        publication = _PUBLISHED.get(key)
+        if publication is not None:
+            publication.refs += 1
+            return tuple(publication.handles)
+        handles: List[dict] = []
+        segments: List[shared_memory.SharedMemory] = []
+        try:
+            for trace in traces:
+                events = np.ascontiguousarray(trace.events)
+                segment = shared_memory.SharedMemory(
+                    name=_segment_name(), create=True,
+                    size=max(1, events.nbytes))
+                segments.append(segment)
+                view = np.ndarray(len(events), dtype=EVENT_DTYPE,
+                                  buffer=segment.buf)
+                view[:] = events
+                handles.append({
+                    "segment": segment.name,
+                    "events": len(events),
+                    "kind": trace.kind,
+                    "heap_bytes": trace.heap_bytes,
+                    "phase_names": list(trace.phase_names),
+                    "residuals": {
+                        phase: (work.instructions, work.bytes_accessed)
+                        for phase, work in trace.residuals.items()},
+                    "stats": {name: getattr(trace, name)
+                              for name in STAT_FIELDS},
+                    "schema": TRACE_SCHEMA_VERSION,
+                })
+        except BaseException:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+            raise
+        _PUBLISHED[key] = _Publication(handles, segments)
+    STATS.add("publishes")
+    eventlog = get_eventlog()
+    if eventlog.enabled:
+        eventlog.emit("shm_publish", traces=len(handles),
+                      bytes=sum(max(1, h["events"])
+                                * EVENT_DTYPE.itemsize for h in handles))
+    return tuple(handles)
+
+
+def attach(handles: Sequence[dict]) -> List[CompiledTrace]:
+    """Rebuild the published traces as zero-copy views (worker side).
+
+    Each segment is mapped once per process and kept open, so a warm
+    worker replaying many cells pays one ``shm_open`` per trace total.
+    """
+    traces: List[CompiledTrace] = []
+    for handle in handles:
+        if handle.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"shared trace schema {handle.get('schema')} != "
+                f"{TRACE_SCHEMA_VERSION}")
+        with _LOCK:
+            segment = _ATTACHED.get(handle["segment"])
+            if segment is None:
+                segment = _attach_untracked(handle["segment"])
+                _ATTACHED[handle["segment"]] = segment
+                STATS.add("attaches")
+        events = np.ndarray(handle["events"], dtype=EVENT_DTYPE,
+                            buffer=segment.buf)
+        events.flags.writeable = False
+        residuals = {
+            phase: ResidualWork(instructions=instructions,
+                                bytes_accessed=accessed)
+            for phase, (instructions, accessed)
+            in handle["residuals"].items()}
+        traces.append(CompiledTrace(
+            handle["kind"], handle["heap_bytes"], events,
+            handle["phase_names"], residuals, **handle["stats"]))
+    return traces
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map ``name`` without registering it with the resource tracker.
+
+    Attaching normally registers the segment with the process tree's
+    *shared* tracker process (an opt-out ``track=False`` exists only in
+    newer Pythons).  Left in place, the tracker would warn about — and
+    try to unlink — segments the owning parent already manages; and
+    unregistering after the fact from several workers trips the
+    tracker's set-based cache on the duplicates.  Suppressing the
+    registration at map time sidesteps both: ownership stays with the
+    publisher, and workers never tear segments down behind it.  The
+    monkeypatch window is serialized by ``_LOCK`` (every caller holds
+    it).
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _unlink(publication: _Publication) -> None:
+    for segment in publication.segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - raced external cleanup
+            pass
+        STATS.add("unlinks")
+
+
+def release(key: tuple) -> None:
+    """Drop one reference to ``key``; unlink its segments at zero."""
+    with _LOCK:
+        publication = _PUBLISHED.get(key)
+        if publication is None:
+            return
+        publication.refs -= 1
+        done = publication.refs <= 0
+        if done:
+            del _PUBLISHED[key]
+    STATS.add("releases")
+    if done:
+        _unlink(publication)
+
+
+def published_segments() -> List[str]:
+    """Names of every segment this process currently owns (tests and
+    the leak check)."""
+    with _LOCK:
+        return [segment.name for publication in _PUBLISHED.values()
+                for segment in publication.segments]
+
+
+def shutdown() -> None:
+    """Unlink everything this process published and close every
+    attachment.  Safe to call repeatedly; forked children inherit the
+    registry but only ever *close* (the publisher pid owns unlinking —
+    each publication's segments were created by the process that holds
+    them in ``_PUBLISHED``, which fork-copies into children that then
+    re-publish under new names if they ever publish at all)."""
+    with _LOCK:
+        published = list(_PUBLISHED.values())
+        _PUBLISHED.clear()
+        attached = list(_ATTACHED.values())
+        _ATTACHED.clear()
+    for segment in attached:
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+    for publication in published:
+        _unlink(publication)
+
+
+atexit.register(shutdown)

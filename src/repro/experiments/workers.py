@@ -1,0 +1,222 @@
+"""Persistent warm worker pool for sweep fan-out.
+
+``replay_grid`` historically forked a fresh ``Pool`` per call: every
+worker's stage-1 memos, trace attachments and imports died with the
+call, and spawn-only platforms (no ``fork`` start method) silently fell
+back to a serial sweep even with ``REPRO_JOBS>1``.  This module keeps
+**one** long-lived pool per process, reused across ``replay_grid`` /
+journaled-sweep / CLI invocations:
+
+* lazy init on first use; explicit :func:`shutdown` plus an ``atexit``
+  hook (which also unlinks the shared-memory trace store, so a warm
+  session leaves ``/dev/shm`` clean);
+* workers keep their per-trace stage-1 products and shm attachments
+  hot between cells — the second grid over the same traces replays
+  with zero stage-1 recompute and zero trace copies;
+* the pool prefers ``fork`` but runs fine on ``spawn``: workers import
+  once, receive compiled traces through
+  :mod:`~repro.experiments.shm_store` handles in their job payloads,
+  and stay warm, so spawn platforms parallelize instead of
+  serializing.
+
+The pool engages when :data:`~repro.config.WARM_POOL_ENV`
+(``REPRO_WARM_POOL``) is set, or automatically when ``fork`` is
+unavailable (the spawn routing fix); otherwise ``replay_grid`` keeps
+its classic fork-pool-per-call behaviour.  The chosen start method is
+noted once per process in the event log (``pool_start``) and the
+metric registry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import WARM_POOL_ENV
+from repro.obs.eventlog import get_eventlog
+from repro.obs.metrics import global_metrics
+
+#: Parent-side pool tally (mirrored into ``repro stats`` via
+#: :func:`repro.obs.adapters.warm_sweep_metrics`).
+_POOL_STATS: Dict[str, int] = {"starts": 0, "reuses": 0, "maps": 0}
+
+_POOL: Optional["WarmPool"] = None
+_POOL_PID: Optional[int] = None
+_NOTED_METHOD: Optional[str] = None
+
+
+class WarmPool:
+    """A long-lived worker pool bound to one start method."""
+
+    def __init__(self, processes: int, start_method: str) -> None:
+        self.processes = processes
+        self.start_method = start_method
+        context = multiprocessing.get_context(start_method)
+        self._pool = context.Pool(processes)
+
+    def map(self, function, items: Sequence) -> List:
+        """Distribute ``items``; worker exceptions propagate to the
+        caller (the pool itself survives them).
+
+        ``chunksize=1``: grid cells are coarse (a whole platform
+        replay) and wildly uneven — the default contiguous chunking
+        regularly lands the two most expensive cells on one worker,
+        serializing most of the sweep.
+        """
+        _POOL_STATS["maps"] += 1
+        return self._pool.map(function, items, chunksize=1)
+
+    def close(self) -> None:
+        # Graceful close: workers drain and exit through interpreter
+        # shutdown, which lets them finalize (and unregister) the
+        # semaphores their module imports created — terminate() would
+        # strand those in the resource tracker as "leaked" noise.
+        self._pool.close()
+        self._pool.join()
+        self._pool = None
+        gc.collect()
+
+
+def pool_stats() -> Dict[str, int]:
+    return dict(_POOL_STATS)
+
+
+def reset_stats() -> None:
+    for name in _POOL_STATS:
+        _POOL_STATS[name] = 0
+
+
+def requested() -> bool:
+    """``REPRO_WARM_POOL`` asked for the persistent pool."""
+    return bool(os.environ.get(WARM_POOL_ENV))
+
+
+def preferred_start_method() -> Optional[str]:
+    """``fork`` where it exists, else ``spawn``, else ``None``."""
+    for method in ("fork", "spawn"):
+        try:
+            multiprocessing.get_context(method)
+            return method
+        except ValueError:
+            continue
+    return None  # pragma: no cover - every supported platform has one
+
+
+def use_warm_pool() -> bool:
+    """Route this sweep through the warm pool?
+
+    True when explicitly requested, and always on spawn-only platforms
+    — there the per-call fork pool cannot exist and the warm pool
+    (workers import once, stay warm) beats the old serial fallback.
+    """
+    if requested():
+        return preferred_start_method() is not None
+    return preferred_start_method() == "spawn"
+
+
+def note_start_method(method: str) -> None:
+    """One-time eventlog/metrics note of the sweep start method."""
+    global _NOTED_METHOD
+    if _NOTED_METHOD is not None:
+        return
+    _NOTED_METHOD = method
+    global_metrics().counter(
+        "pool.start_method", "sweep worker start method chosen "
+        "(once per process)", method=method).add(1)
+    eventlog = get_eventlog()
+    if eventlog.enabled:
+        eventlog.emit("pool_start", method=method)
+
+
+def get_pool(processes: int) -> Optional[WarmPool]:
+    """The process-wide warm pool, created (or grown) on demand.
+
+    Returns ``None`` only when no start method exists.  A pool
+    inherited across a fork is never reused — the child builds its
+    own.  Reuse is counted (``pool.reuses`` metric, ``pool_reuse``
+    event): that counter staying ahead of ``starts`` is the warmness
+    witness ``bench_sweep`` checks.
+    """
+    global _POOL, _POOL_PID
+    method = preferred_start_method()
+    if method is None:  # pragma: no cover - no multiprocessing at all
+        return None
+    if _POOL is not None and _POOL_PID != os.getpid():
+        _POOL = None  # inherited via fork; the parent owns it
+    if _POOL is not None and _POOL.processes < processes:
+        shutdown()
+    if _POOL is None:
+        _POOL = WarmPool(processes, method)
+        _POOL_PID = os.getpid()
+        _POOL_STATS["starts"] += 1
+        note_start_method(method)
+        global_metrics().counter(
+            "pool.starts", "warm pool cold starts",
+            method=method).add(1)
+    else:
+        _POOL_STATS["reuses"] += 1
+        global_metrics().counter(
+            "pool.reuses", "warm pool reuses across sweep "
+            "invocations").add(1)
+        eventlog = get_eventlog()
+        if eventlog.enabled:
+            eventlog.emit("pool_reuse", method=_POOL.start_method,
+                          processes=_POOL.processes)
+    return _POOL
+
+
+def shutdown() -> None:
+    """Tear the pool down and unlink the shared trace segments.
+
+    Idempotent; also the ``atexit`` hook.  Only the owning process
+    acts — a forked child inheriting the module state must not
+    terminate its parent's workers.
+    """
+    global _POOL, _POOL_PID
+    if _POOL is not None and _POOL_PID == os.getpid():
+        _POOL.close()
+    _POOL = None
+    _POOL_PID = None
+    from repro.experiments import shm_store
+    shm_store.shutdown()
+
+
+atexit.register(shutdown)
+
+
+# -- worker bodies (module-level: picklable under spawn) -------------------
+
+def _install_traces(published: Iterable) -> None:
+    """Attach shm handles and prime the runner's compiled-trace memo,
+    so ``replay_platform`` in this worker replays without loading (or
+    regenerating) any trace."""
+    from repro.experiments import runner, shm_store
+
+    for key, handles in published:
+        key = tuple(key)
+        if key not in runner._COMPILED_CACHE:
+            runner._COMPILED_CACHE[key] = shm_store.attach(handles)
+
+
+def _warm_cell(payload: tuple):
+    """One grid cell in a warm worker."""
+    published, job = payload
+    _install_traces(published)
+    from repro.experiments.runner import _grid_worker
+
+    return _grid_worker(job)
+
+
+def _warm_journal(payload: tuple) -> None:
+    """One warm worker's work-stealing pass over a shard journal."""
+    published, directory, items = payload
+    _install_traces(published)
+    from repro.experiments import shard_journal
+    from repro.experiments.runner import _grid_worker
+
+    shard_journal.sweep_shards(Path(directory), dict(items),
+                               _grid_worker)
